@@ -1,0 +1,103 @@
+//! E1/E2 — Fig. 1a/1b: trajectory deviation and residues under no-noise /
+//! noise / attack, with static vs variable thresholds.
+
+use cps_bench::{bench_config, print_row};
+use cps_control::{NoiseModel, ResidueNorm};
+use cps_detectors::{Detector, ThresholdDetector, ThresholdSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use secure_cps::AttackSynthesizer;
+
+fn regenerate() {
+    let benchmark = cps_models::trajectory_tracking().expect("model builds");
+    let horizon = benchmark.horizon;
+    let plant = benchmark.closed_loop.plant();
+    let no_noise = NoiseModel::none(plant.num_states(), plant.num_outputs());
+
+    let clean = benchmark
+        .closed_loop
+        .simulate(&benchmark.initial_state, horizon, &no_noise, None, 0);
+    let noisy = benchmark
+        .closed_loop
+        .simulate(&benchmark.initial_state, horizon, &benchmark.noise, None, 1);
+    let synthesizer = AttackSynthesizer::new(&benchmark, bench_config());
+    let attack = synthesizer
+        .synthesize(None)
+        .expect("query decided")
+        .expect("undefended loop attackable");
+    let attacked = benchmark.closed_loop.simulate(
+        &benchmark.initial_state,
+        horizon,
+        &benchmark.noise,
+        Some(&attack.attack),
+        1,
+    );
+
+    let target = benchmark.performance.target();
+    print_row("fig1a", "k, deviation_no_noise, deviation_noise, deviation_attack");
+    for k in 0..=horizon {
+        print_row(
+            "fig1a",
+            &format!(
+                "{k}, {:.4}, {:.4}, {:.4}",
+                clean.states()[k][0] - target,
+                noisy.states()[k][0] - target,
+                attacked.states()[k][0] - target
+            ),
+        );
+    }
+
+    let noise_res = noisy.residue_norms(ResidueNorm::Linf);
+    let attack_res = attacked.residue_norms(ResidueNorm::Linf);
+    let noise_peak = noise_res.iter().cloned().fold(0.0, f64::max);
+    let attack_peak = attack_res.iter().cloned().fold(0.0, f64::max);
+    let small = ThresholdSpec::constant(0.6 * noise_peak, horizon);
+    let large = ThresholdSpec::constant(1.2 * attack_peak, horizon);
+    let variable = ThresholdSpec::variable(
+        (0..horizon)
+            .map(|k| {
+                let f = k as f64 / (horizon - 1) as f64;
+                1.2 * attack_peak * (1.0 - f) + 1.5 * noise_peak * f
+            })
+            .collect(),
+    );
+    print_row("fig1b", "k, residue_noise, residue_attack, th, Th, vth");
+    for k in 0..horizon {
+        print_row(
+            "fig1b",
+            &format!(
+                "{k}, {:.4}, {:.4}, {:.4}, {:.4}, {:.4}",
+                noise_res[k],
+                attack_res[k],
+                small.value_at(k),
+                large.value_at(k),
+                variable.value_at(k)
+            ),
+        );
+    }
+    for (name, spec) in [("th_small", small), ("Th_large", large), ("vth", variable)] {
+        let detector = ThresholdDetector::new(spec, ResidueNorm::Linf);
+        print_row(
+            "fig1b",
+            &format!(
+                "{name}: alarm_on_noise={:?}, alarm_on_attack={:?}",
+                detector.first_alarm(&noisy),
+                detector.first_alarm(&attacked)
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let benchmark = cps_models::trajectory_tracking().expect("model builds");
+    let synthesizer = AttackSynthesizer::new(&benchmark, bench_config());
+    let mut group = c.benchmark_group("fig1_trajectory");
+    group.sample_size(10);
+    group.bench_function("attack_synthesis_undefended", |b| {
+        b.iter(|| synthesizer.synthesize(None).expect("query decided"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

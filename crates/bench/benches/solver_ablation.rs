@@ -1,0 +1,51 @@
+//! Ablation — full DPLL(T) attack synthesis (Algorithm 1) versus the
+//! LP-only under-approximation, on the trajectory-tracking benchmark.
+
+use cps_bench::{bench_config, print_row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use secure_cps::{AttackSynthesizer, LpAttackSynthesizer};
+
+fn regenerate() {
+    let benchmark = cps_models::trajectory_tracking().expect("model builds");
+    let config = bench_config();
+    let smt = AttackSynthesizer::new(&benchmark, config);
+    let lp = LpAttackSynthesizer::new(&benchmark, config);
+    let smt_attack = smt.synthesize(None).expect("query decided");
+    let lp_attack = lp.synthesize(None);
+    print_row(
+        "ablation",
+        &format!(
+            "undefended loop: smt_attack_found={}, lp_attack_found={}",
+            smt_attack.is_some(),
+            lp_attack.is_some()
+        ),
+    );
+    if let (Some(smt_attack), Some(lp_attack)) = (&smt_attack, &lp_attack) {
+        print_row(
+            "ablation",
+            &format!(
+                "peak residue: smt={:.4}, lp={:.4}",
+                smt_attack.pivot().1,
+                lp_attack.pivot().1
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let benchmark = cps_models::trajectory_tracking().expect("model builds");
+    let config = bench_config();
+    let smt = AttackSynthesizer::new(&benchmark, config);
+    let lp = LpAttackSynthesizer::new(&benchmark, config);
+    let mut group = c.benchmark_group("solver_ablation");
+    group.sample_size(10);
+    group.bench_function("smt_attack_synthesis", |b| {
+        b.iter(|| smt.synthesize(None).expect("query decided"))
+    });
+    group.bench_function("lp_attack_synthesis", |b| b.iter(|| lp.synthesize(None)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+use cps_linalg::LinalgError;
+
+/// Errors produced when constructing or analysing control-loop components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// Plant/controller/estimator matrices have inconsistent dimensions.
+    DimensionMismatch(String),
+    /// A numerical routine from the linear-algebra substrate failed.
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ControlError::Numerical(err) => write!(f, "numerical failure: {err}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Numerical(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(err: LinalgError) -> Self {
+        ControlError::Numerical(err)
+    }
+}

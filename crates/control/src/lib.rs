@@ -1,0 +1,69 @@
+//! LTI plants, estimators, controllers and closed-loop simulation with
+//! sensor attacks.
+//!
+//! The crate models the control-loop structure assumed by the paper:
+//!
+//! ```text
+//! x_{k+1} = A·x_k + B·u_k + w_k          (plant)
+//! y_k     = C·x_k + D·u_k + v_k          (sensors)
+//! ỹ_k     = y_k + a_k                    (false-data injection)
+//! z_k     = ỹ_k − C·x̂_k − D·u_k          (residue)
+//! x̂_{k+1} = A·x̂_k + B·u_k + L·z_k        (Kalman-filter estimator)
+//! u_k     = u_eq − K·(x̂_k − x_des)       (state-feedback controller)
+//! ```
+//!
+//! - [`StateSpace`] / [`ContinuousStateSpace`] — plant models and zero-order-
+//!   hold discretisation,
+//! - [`kalman_gain`] / [`lqr_gain`] — steady-state estimator and controller
+//!   design via the DARE solver from [`cps_linalg`],
+//! - [`ClosedLoop`] — the assembled loop, with [`ClosedLoop::simulate`]
+//!   producing a [`Trace`] under configurable noise and sensor attacks,
+//! - [`SensorAttack`] — additive false-data injection sequences,
+//! - [`NoiseModel`] — independent Gaussian process/measurement noise,
+//! - [`ResidueNorm`] — the norm applied to residue vectors by detectors.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_control::{ClosedLoop, NoiseModel, Reference, StateSpace};
+//! use cps_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Double integrator with position measurement.
+//! let plant = StateSpace::new(
+//!     Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?,
+//!     Matrix::from_rows(&[&[0.005], &[0.1]])?,
+//!     Matrix::from_rows(&[&[1.0, 0.0]])?,
+//!     Matrix::zeros(1, 1),
+//! )?;
+//! let k = cps_control::lqr_gain(&plant, &Matrix::identity(2), &Matrix::from_diag(&[1.0]))?;
+//! let l = cps_control::kalman_gain(
+//!     &plant,
+//!     &Matrix::identity(2).scale(1e-4),
+//!     &Matrix::from_diag(&[1e-4]),
+//! )?;
+//! let closed_loop = ClosedLoop::new(plant, k, l)?.with_reference(Reference::state_target(
+//!     Vector::from_slice(&[1.0, 0.0]),
+//! ));
+//! let trace = closed_loop.simulate(&Vector::zeros(2), 100, &NoiseModel::none(2, 1), None, 0);
+//! assert!((trace.states().last().unwrap()[0] - 1.0).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod closed_loop;
+mod design;
+mod error;
+mod noise;
+mod state_space;
+mod trace;
+
+pub use closed_loop::{ClosedLoop, Reference, SensorAttack};
+pub use design::{kalman_gain, lqr_gain};
+pub use error::ControlError;
+pub use noise::NoiseModel;
+pub use state_space::{ContinuousStateSpace, StateSpace};
+pub use trace::{ResidueNorm, Trace};

@@ -1,0 +1,152 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cps_linalg::Vector;
+
+/// Independent zero-mean Gaussian process and measurement noise.
+///
+/// The paper's plant model uses `w_k ~ N(0, Q)` and `v_k ~ N(0, R)`; this
+/// type keeps the per-component standard deviations (i.e. diagonal
+/// covariances), which is what the evaluation section's "suitably small range"
+/// noise amounts to.
+///
+/// # Example
+///
+/// ```
+/// use cps_control::NoiseModel;
+///
+/// let noise = NoiseModel::uniform_std(2, 1, 0.01, 0.02);
+/// let (w, v) = noise.sample(42, 0);
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    process_std: Vec<f64>,
+    measurement_std: Vec<f64>,
+}
+
+impl NoiseModel {
+    /// Creates a noise model from per-component standard deviations.
+    pub fn new(process_std: Vec<f64>, measurement_std: Vec<f64>) -> Self {
+        Self {
+            process_std,
+            measurement_std,
+        }
+    }
+
+    /// A noise-free model for a plant with `num_states` states and
+    /// `num_outputs` outputs.
+    pub fn none(num_states: usize, num_outputs: usize) -> Self {
+        Self {
+            process_std: vec![0.0; num_states],
+            measurement_std: vec![0.0; num_outputs],
+        }
+    }
+
+    /// A model with the same standard deviation for every state component and
+    /// every measurement component.
+    pub fn uniform_std(
+        num_states: usize,
+        num_outputs: usize,
+        process_std: f64,
+        measurement_std: f64,
+    ) -> Self {
+        Self {
+            process_std: vec![process_std; num_states],
+            measurement_std: vec![measurement_std; num_outputs],
+        }
+    }
+
+    /// Returns `true` when both noise sources are identically zero.
+    pub fn is_none(&self) -> bool {
+        self.process_std.iter().all(|s| *s == 0.0)
+            && self.measurement_std.iter().all(|s| *s == 0.0)
+    }
+
+    /// Per-component process-noise standard deviations.
+    pub fn process_std(&self) -> &[f64] {
+        &self.process_std
+    }
+
+    /// Per-component measurement-noise standard deviations.
+    pub fn measurement_std(&self) -> &[f64] {
+        &self.measurement_std
+    }
+
+    /// Samples `(w_k, v_k)` for sampling instant `step` of the rollout with
+    /// the given `seed`. The same `(seed, step)` pair always produces the same
+    /// noise, which keeps simulations reproducible and lets paired experiments
+    /// (with and without attack) share a noise realisation.
+    pub fn sample(&self, seed: u64, step: usize) -> (Vector, Vector) {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let w = Vector::from_fn(self.process_std.len(), |i| {
+            gaussian(&mut rng) * self.process_std[i]
+        });
+        let v = Vector::from_fn(self.measurement_std.len(), |i| {
+            gaussian(&mut rng) * self.measurement_std[i]
+        });
+        (w, v)
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (avoids a dependency on
+/// `rand_distr`, which is not in the sanctioned crate set).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_model_produces_zero_noise() {
+        let noise = NoiseModel::none(3, 2);
+        assert!(noise.is_none());
+        let (w, v) = noise.sample(1, 5);
+        assert_eq!(w.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(v.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_step() {
+        let noise = NoiseModel::uniform_std(2, 1, 0.1, 0.2);
+        let (w1, v1) = noise.sample(7, 3);
+        let (w2, v2) = noise.sample(7, 3);
+        assert_eq!(w1, w2);
+        assert_eq!(v1, v2);
+        let (w3, _) = noise.sample(7, 4);
+        assert_ne!(w1, w3, "different steps should give different noise");
+        let (w4, _) = noise.sample(8, 3);
+        assert_ne!(w1, w4, "different seeds should give different noise");
+    }
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        let noise = NoiseModel::uniform_std(1, 1, 1.0, 0.0);
+        let n = 4000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for step in 0..n {
+            let (w, _) = noise.sample(123, step);
+            sum += w[0];
+            sum_sq += w[0] * w[0];
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.1, "sample mean {mean} too far from zero");
+        assert!((var - 1.0).abs() < 0.15, "sample variance {var} too far from one");
+    }
+
+    #[test]
+    fn accessors_expose_stds() {
+        let noise = NoiseModel::new(vec![0.1, 0.2], vec![0.3]);
+        assert_eq!(noise.process_std(), &[0.1, 0.2]);
+        assert_eq!(noise.measurement_std(), &[0.3]);
+        assert!(!noise.is_none());
+    }
+}

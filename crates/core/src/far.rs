@@ -1,0 +1,135 @@
+use cps_control::Trace;
+use cps_detectors::{false_alarm_rate, Detector};
+use cps_models::Benchmark;
+
+/// The false-alarm-rate experiment of §IV: generate random bounded noise
+/// rollouts, keep those that satisfy the performance criterion and pass the
+/// plant monitors (`mdc`), then measure how often each residue detector
+/// alarms on the kept, attack-free traces.
+#[derive(Debug)]
+pub struct FarExperiment<'a> {
+    benchmark: &'a Benchmark,
+    num_trials: usize,
+    seed: u64,
+}
+
+/// Result of a [`FarExperiment`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarReport {
+    /// Number of noise rollouts generated.
+    pub generated: usize,
+    /// Number of rollouts kept after the pfc / monitor filter.
+    pub kept: usize,
+    /// Number of rollouts discarded by the filter.
+    pub discarded: usize,
+    /// `(detector name, false-alarm rate over the kept rollouts)`.
+    pub rates: Vec<(String, f64)>,
+}
+
+impl FarReport {
+    /// The false-alarm rate of a named detector, if present.
+    pub fn rate_of(&self, name: &str) -> Option<f64> {
+        self.rates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rate)| *rate)
+    }
+}
+
+impl<'a> FarExperiment<'a> {
+    /// Creates the experiment. The paper uses 1000 noise rollouts; tests use
+    /// fewer to stay fast.
+    pub fn new(benchmark: &'a Benchmark, num_trials: usize, seed: u64) -> Self {
+        Self {
+            benchmark,
+            num_trials,
+            seed,
+        }
+    }
+
+    /// Generates the filtered population of attack-free noisy traces.
+    pub fn noise_traces(&self) -> Vec<Trace> {
+        let mut kept = Vec::new();
+        for trial in 0..self.num_trials {
+            let trace = self.benchmark.closed_loop.simulate(
+                &self.benchmark.initial_state,
+                self.benchmark.horizon,
+                &self.benchmark.noise,
+                None,
+                self.seed.wrapping_add(trial as u64),
+            );
+            // The paper samples noise "from a suitably small range such that
+            // pfc is maintained" and then discards rollouts flagged by mdc.
+            let pfc_ok = self
+                .benchmark
+                .performance
+                .satisfied_by(trace.states().last().expect("non-empty trace"));
+            let mdc_quiet = !self
+                .benchmark
+                .monitors
+                .evaluate(trace.measurements())
+                .alarmed();
+            if pfc_ok && mdc_quiet {
+                kept.push(trace);
+            }
+        }
+        kept
+    }
+
+    /// Runs the experiment against a set of named detectors.
+    pub fn run(&self, detectors: &[(&str, &dyn Detector)]) -> FarReport {
+        let kept = self.noise_traces();
+        let rates = detectors
+            .iter()
+            .map(|(name, detector)| ((*name).to_string(), false_alarm_rate(*detector, &kept)))
+            .collect();
+        FarReport {
+            generated: self.num_trials,
+            kept: kept.len(),
+            discarded: self.num_trials - kept.len(),
+            rates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_control::ResidueNorm;
+    use cps_detectors::{ThresholdDetector, ThresholdSpec};
+
+    #[test]
+    fn noise_traces_pass_the_filter_by_construction() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let experiment = FarExperiment::new(&benchmark, 50, 7);
+        let traces = experiment.noise_traces();
+        assert!(!traces.is_empty(), "the nominal noise level should pass the filter");
+        for trace in &traces {
+            assert!(benchmark
+                .performance
+                .satisfied_by(trace.states().last().unwrap()));
+            assert!(!benchmark.monitors.evaluate(trace.measurements()).alarmed());
+        }
+    }
+
+    #[test]
+    fn far_orders_detectors_by_threshold_tightness() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let experiment = FarExperiment::new(&benchmark, 80, 11);
+        let horizon = benchmark.horizon;
+        let tight = ThresholdDetector::new(
+            ThresholdSpec::constant(1e-4, horizon),
+            ResidueNorm::Linf,
+        );
+        let loose = ThresholdDetector::new(ThresholdSpec::constant(1.0, horizon), ResidueNorm::Linf);
+        let report = experiment.run(&[("tight", &tight), ("loose", &loose)]);
+        assert_eq!(report.generated, 80);
+        assert_eq!(report.kept + report.discarded, 80);
+        let tight_rate = report.rate_of("tight").unwrap();
+        let loose_rate = report.rate_of("loose").unwrap();
+        assert!(tight_rate >= loose_rate);
+        assert!(tight_rate > 0.9, "a near-zero threshold alarms on noise");
+        assert!(loose_rate < 0.1, "a huge threshold rarely alarms on noise");
+        assert_eq!(report.rate_of("missing"), None);
+    }
+}

@@ -1,0 +1,205 @@
+use cps_control::SensorAttack;
+use cps_linalg::Vector;
+use cps_models::{Benchmark, PerformanceCriterion};
+use cps_smt::{maximize, Constraint, LinExpr, OptimizeOutcome};
+
+use crate::{SynthesisConfig, SynthesizedAttack, UnrolledLoop};
+
+/// LP-only attack synthesis — the solver ablation discussed in `DESIGN.md`.
+///
+/// Instead of the full Boolean/theory query of Algorithm 1, this synthesizer
+/// keeps only the *conjunctive* stealth constraints (residue bounds, attack
+/// bounds, and the plant monitors applied at **every** instant, i.e. without
+/// the dead-zone disjunction) and then pushes the terminal state as far from
+/// the target as a linear program allows. It under-approximates the attacker
+/// (any attack it finds is also found by Algorithm 1, but not vice versa) and
+/// is orders of magnitude faster, which makes it useful both as a quick
+/// screening pass and as a benchmark comparison point.
+#[derive(Debug)]
+pub struct LpAttackSynthesizer<'a> {
+    benchmark: &'a Benchmark,
+    unrolled: UnrolledLoop,
+}
+
+impl<'a> LpAttackSynthesizer<'a> {
+    /// Prepares the LP synthesizer (the unrolling is shared with Algorithm 1's
+    /// encoding).
+    pub fn new(benchmark: &'a Benchmark, config: SynthesisConfig) -> Self {
+        let horizon = config.horizon_override.unwrap_or(benchmark.horizon);
+        Self {
+            benchmark,
+            unrolled: UnrolledLoop::with_horizon(benchmark, horizon),
+        }
+    }
+
+    /// The analysis horizon used.
+    pub fn horizon(&self) -> usize {
+        self.unrolled.horizon()
+    }
+
+    /// Attempts to find a stealthy successful attack by linear programming.
+    ///
+    /// Returns `None` when even the most damaging conjunctively-stealthy
+    /// injection cannot violate the performance criterion — which, unlike an
+    /// `UNSAT` answer from Algorithm 1, is *not* a proof that no stealthy
+    /// attack exists (the dead-zone freedom is given away).
+    pub fn synthesize(&self, threshold: Option<&[Option<f64>]>) -> Option<SynthesizedAttack> {
+        let constraints = self.stealth_constraints(threshold);
+        let state_idx = self.benchmark.performance.state_index();
+        let final_expr = self.unrolled.final_state()[state_idx].clone();
+
+        // Push the constrained terminal component in the direction(s) that
+        // violate the performance criterion.
+        let objectives: Vec<LinExpr> = match &self.benchmark.performance {
+            PerformanceCriterion::ReachBand { .. } => {
+                vec![final_expr.clone(), final_expr.clone().scale(-1.0)]
+            }
+            PerformanceCriterion::ReachFraction { target, .. } => {
+                if *target >= 0.0 {
+                    vec![final_expr.clone().scale(-1.0)]
+                } else {
+                    vec![final_expr.clone()]
+                }
+            }
+        };
+
+        for objective in objectives {
+            let outcome = maximize(self.unrolled.vars().len(), &constraints, &objective);
+            let assignment = match outcome {
+                OptimizeOutcome::Optimal(_, assignment) => assignment,
+                OptimizeOutcome::Unbounded | OptimizeOutcome::Infeasible => continue,
+            };
+            let attack = self.attack_from_assignment(&assignment);
+            let candidate = self.package(attack);
+            let final_state = candidate.trace.states().last().expect("non-empty trace");
+            if !self.benchmark.performance.satisfied_by(final_state) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Conjunctive stealth constraints: residue bounds, attack bounds and the
+    /// monitors enforced at every instant (no dead-zone slack).
+    fn stealth_constraints(&self, threshold: Option<&[Option<f64>]>) -> Vec<Constraint> {
+        let horizon = self.unrolled.horizon();
+        let mut constraints = Vec::new();
+
+        if let Some(threshold) = threshold {
+            for (k, entry) in threshold.iter().enumerate().take(horizon) {
+                if let Some(bound) = entry {
+                    if !bound.is_finite() {
+                        continue;
+                    }
+                    for j in 0..self.unrolled.num_residue_components() {
+                        let z = self.unrolled.residue(k, j).clone();
+                        constraints.push(z.clone().lt(*bound));
+                        constraints.push(z.gt(-*bound));
+                    }
+                }
+            }
+        }
+
+        let symbols = self.unrolled.measurement_symbols();
+        for k in 0..horizon {
+            let ok = self.benchmark.monitors.encode_ok_at(k, &symbols);
+            collect_atoms(&ok, &mut constraints);
+        }
+
+        let bound = self.benchmark.attack_bound;
+        for k in 0..horizon {
+            for i in 0..self.unrolled.attacked_sensors().len() {
+                let a = LinExpr::var(self.unrolled.attack_var(k, i));
+                constraints.push(a.clone().le(bound));
+                constraints.push(a.ge(-bound));
+            }
+        }
+        constraints
+    }
+
+    fn attack_from_assignment(&self, assignment: &[f64]) -> SensorAttack {
+        let outputs = self.benchmark.num_outputs();
+        let injections = (0..self.unrolled.horizon())
+            .map(|k| {
+                let mut injection = Vector::zeros(outputs);
+                for (i, sensor) in self.unrolled.attacked_sensors().iter().enumerate() {
+                    injection[*sensor] = assignment[self.unrolled.attack_var(k, i).index()];
+                }
+                injection
+            })
+            .collect();
+        SensorAttack::new(injections)
+    }
+
+    fn package(&self, attack: SensorAttack) -> SynthesizedAttack {
+        let plant = self.benchmark.closed_loop.plant();
+        let trace = self.benchmark.closed_loop.simulate(
+            &self.benchmark.initial_state,
+            self.unrolled.horizon(),
+            &cps_control::NoiseModel::none(plant.num_states(), plant.num_outputs()),
+            Some(&attack),
+            0,
+        );
+        let residue_norms = trace.residue_norms(cps_control::ResidueNorm::Linf);
+        SynthesizedAttack {
+            attack,
+            trace,
+            residue_norms,
+        }
+    }
+}
+
+/// Flattens a purely conjunctive monitor formula into its atomic constraints.
+/// Monitor "ok" formulas are conjunctions of atoms by construction; anything
+/// else would indicate a monitor kind this LP ablation cannot express and is
+/// ignored (making the LP attacker slightly stronger, never weaker).
+fn collect_atoms(formula: &cps_smt::Formula, out: &mut Vec<Constraint>) {
+    match formula {
+        cps_smt::Formula::Atom(c) => out.push(c.clone()),
+        cps_smt::Formula::And(parts) => {
+            for p in parts {
+                collect_atoms(p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttackSynthesizer;
+
+    #[test]
+    fn lp_attack_exists_for_the_undefended_trajectory_loop() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let lp = LpAttackSynthesizer::new(&benchmark, SynthesisConfig::default());
+        let attack = lp
+            .synthesize(None)
+            .expect("LP should find an attack on the undefended loop");
+        let final_state = attack.trace.states().last().unwrap();
+        assert!(!benchmark.performance.satisfied_by(final_state));
+    }
+
+    #[test]
+    fn lp_attacks_are_a_subset_of_smt_attacks() {
+        // Whenever the LP finds an attack, the full Algorithm 1 query must
+        // also be satisfiable (the LP attacker is strictly weaker).
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let config = SynthesisConfig::default();
+        let lp = LpAttackSynthesizer::new(&benchmark, config);
+        let smt = AttackSynthesizer::new(&benchmark, config);
+        let threshold: Vec<Option<f64>> = vec![Some(0.3); benchmark.horizon];
+        if lp.synthesize(Some(&threshold)).is_some() {
+            assert!(smt.synthesize(Some(&threshold)).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn lp_respects_tight_thresholds() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let lp = LpAttackSynthesizer::new(&benchmark, SynthesisConfig::default());
+        let tight: Vec<Option<f64>> = vec![Some(1e-4); benchmark.horizon];
+        assert!(lp.synthesize(Some(&tight)).is_none());
+    }
+}

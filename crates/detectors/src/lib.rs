@@ -1,0 +1,50 @@
+//! Residue-based attack detectors and their statistical evaluation.
+//!
+//! The paper's detector raises an alarm at sampling instant `k` when
+//! `‖z_k‖ ≥ Th[k]`, where `Th` is either a single static threshold or the
+//! variable (monotonically decreasing) threshold vector produced by the
+//! synthesis algorithms. This crate provides:
+//!
+//! - [`ThresholdSpec`] — static or variable threshold specifications,
+//! - [`ThresholdDetector`] — the residue detector of the paper,
+//! - [`Chi2Detector`] and [`CusumDetector`] — classical windowed baselines
+//!   used as additional comparison points,
+//! - [`Detector`] — the common detection interface over closed-loop
+//!   [`Trace`]s,
+//! - [`false_alarm_rate`] / [`detection_rate`] — Monte-Carlo evaluation
+//!   helpers used by the FAR experiment (§IV of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use cps_detectors::{Detector, ThresholdDetector, ThresholdSpec};
+//! use cps_control::ResidueNorm;
+//!
+//! let detector = ThresholdDetector::new(ThresholdSpec::constant(0.1, 10), ResidueNorm::Linf);
+//! assert_eq!(detector.threshold().value_at(3), 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baselines;
+mod evaluation;
+mod threshold;
+
+pub use baselines::{Chi2Detector, CusumDetector};
+pub use evaluation::{detection_rate, false_alarm_rate};
+pub use threshold::{ThresholdDetector, ThresholdSpec};
+
+use cps_control::Trace;
+
+/// Common interface of residue-based detectors.
+pub trait Detector {
+    /// Returns the first sampling instant at which the detector raises an
+    /// alarm on the given trace, or `None` when the trace passes undetected.
+    fn first_alarm(&self, trace: &Trace) -> Option<usize>;
+
+    /// Convenience wrapper: `true` when the detector alarms anywhere.
+    fn detects(&self, trace: &Trace) -> bool {
+        self.first_alarm(trace).is_some()
+    }
+}

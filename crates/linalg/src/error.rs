@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix but received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A factorisation or solve encountered a (numerically) singular matrix.
+    Singular,
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm when the iteration stopped.
+        residual: f64,
+    },
+    /// The input data is malformed (e.g. ragged rows, empty dimension).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}

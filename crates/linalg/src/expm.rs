@@ -1,0 +1,143 @@
+use crate::{LinalgError, Matrix};
+
+/// Computes the matrix exponential `e^A` using scaling-and-squaring with a
+/// 6th-order diagonal Padé approximant.
+///
+/// The routine is intended for the zero-order-hold discretisation of
+/// continuous-time plant models (`A_d = e^{A T_s}`), where the inputs are
+/// small (a handful of states) and well scaled.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular inputs and propagates
+/// [`LinalgError::Singular`] if the Padé denominator cannot be inverted
+/// (which indicates a badly conditioned input).
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{expm, Matrix};
+///
+/// # fn main() -> Result<(), cps_linalg::LinalgError> {
+/// let zero = Matrix::zeros(2, 2);
+/// assert_eq!(expm(&zero)?, Matrix::identity(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+
+    // Scale the matrix so that its infinity norm is below 0.5, then square the
+    // result back up: e^A = (e^{A / 2^s})^{2^s}.
+    let norm = a.norm_inf();
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scaled = a.scale(1.0 / f64::powi(2.0, s as i32));
+
+    // Diagonal Padé approximant of order q: coefficients follow the standard
+    // recurrence c_k = c_{k-1} · (q − k + 1) / (k · (2q − k + 1)).
+    const PADE_ORDER: usize = 6;
+    let mut coeffs = [0.0; PADE_ORDER + 1];
+    coeffs[0] = 1.0;
+    for k in 1..=PADE_ORDER {
+        coeffs[k] = coeffs[k - 1] * (PADE_ORDER - k + 1) as f64
+            / (k as f64 * (2 * PADE_ORDER - k + 1) as f64);
+    }
+
+    let identity = Matrix::identity(n);
+    let mut numerator = identity.scale(coeffs[0]);
+    let mut denominator = identity.scale(coeffs[0]);
+    let mut power = identity.clone();
+    for (k, &coeff) in coeffs.iter().enumerate().skip(1) {
+        power = power.matmul(&scaled)?;
+        let term = power.scale(coeff);
+        numerator = &numerator + &term;
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        denominator = &denominator + &term.scale(sign);
+    }
+
+    let mut result = denominator.lu()?.solve_matrix(&numerator)?;
+    for _ in 0..s {
+        result = result.matmul(&result)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        let e = expm(&z).unwrap();
+        assert!((e - Matrix::identity(3)).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_diagonal_matches_scalar_exp() {
+        let a = Matrix::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        assert!(approx_eq(e[(0, 0)], 1.0_f64.exp(), 1e-9));
+        assert!(approx_eq(e[(1, 1)], (-2.0_f64).exp(), 1e-9));
+        assert!(approx_eq(e[(2, 2)], 0.5_f64.exp(), 1e-9));
+        assert!(approx_eq(e[(0, 1)], 0.0, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_nilpotent_matches_truncated_series() {
+        // For N = [[0, 1], [0, 0]], e^N = I + N exactly.
+        let n = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&n).unwrap();
+        assert!(approx_eq(e[(0, 0)], 1.0, 1e-12));
+        assert!(approx_eq(e[(0, 1)], 1.0, 1e-12));
+        assert!(approx_eq(e[(1, 0)], 0.0, 1e-12));
+        assert!(approx_eq(e[(1, 1)], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_rotation_generator_is_rotation() {
+        // A = [[0, -t], [t, 0]] gives e^A = [[cos t, -sin t], [sin t, cos t]].
+        let t = 0.7;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!(approx_eq(e[(0, 0)], t.cos(), 1e-9));
+        assert!(approx_eq(e[(0, 1)], -t.sin(), 1e-9));
+        assert!(approx_eq(e[(1, 0)], t.sin(), 1e-9));
+        assert!(approx_eq(e[(1, 1)], t.cos(), 1e-9));
+    }
+
+    #[test]
+    fn scaling_branch_handles_large_norm() {
+        let a = Matrix::from_diag(&[5.0, -7.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 5.0_f64.exp()).abs() / 5.0_f64.exp() < 1e-9);
+        assert!(approx_eq(e[(1, 1)], (-7.0_f64).exp(), 1e-9));
+    }
+
+    #[test]
+    fn rectangular_input_is_rejected() {
+        assert!(matches!(
+            expm(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        assert_eq!(expm(&Matrix::zeros(0, 0)).unwrap().shape(), (0, 0));
+    }
+}

@@ -1,0 +1,253 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU decomposition with partial pivoting (`P * A = L * U`).
+///
+/// The factorisation is computed once by [`Matrix::lu`] (or
+/// [`LuDecomposition::new`]) and can then be reused for several solves,
+/// inversion or determinant computation — the usual pattern when the same
+/// plant matrix has to be applied to many right-hand sides during simulation
+/// or synthesis.
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), cps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from_slice(&[3.0, 5.0]))?;
+/// assert!((&a * &x - &Vector::from_slice(&[3.0, 5.0])).norm_inf() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strictly lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row stored at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used by the determinant.
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this magnitude are treated as zero (singular matrix).
+const PIVOT_TOL: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorises `a` into `P * a = L * U` using partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is rectangular and
+    /// [`LinalgError::Singular`] if a pivot smaller than the internal
+    /// tolerance is encountered.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row: largest magnitude in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOL {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A * x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "LU solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with the permuted right-hand side: L * y = P * b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Backward substitution: U * x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A * X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B` has a different number of
+    /// rows than the factorised matrix.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "LU matrix solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse of the factorised matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`LuDecomposition::solve_matrix`]; the
+    /// factorisation itself already guarantees non-singularity.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorised matrix (product of U's diagonal with the
+    /// permutation sign).
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
+            .unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.0]);
+        let x = a.solve(&b).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-10));
+        assert!(approx_eq(x[1], -2.0, 1e-10));
+        assert!(approx_eq(x[2], -2.0, 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn rectangular_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(matches!(
+            lu.solve(&Vector::zeros(2)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&Vector::from_slice(&[2.0, 3.0])).unwrap();
+        assert!(approx_eq(x[0], 3.0, 1e-12));
+        assert!(approx_eq(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn determinant_tracks_permutation_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(approx_eq(a.lu().unwrap().determinant(), -1.0, 1e-12));
+        let b = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        assert!(approx_eq(b.lu().unwrap().determinant(), 24.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        assert!((eye - Matrix::identity(2)).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_rejects_row_mismatch() {
+        let a = Matrix::identity(2);
+        let lu = a.lu().unwrap();
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+}

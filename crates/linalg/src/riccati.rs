@@ -1,0 +1,260 @@
+use crate::{LinalgError, Matrix};
+
+/// Options controlling the fixed-point iterations in [`solve_dare`] and
+/// [`solve_discrete_lyapunov`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiccatiOptions {
+    /// Maximum number of fixed-point iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the Frobenius norm of successive iterates.
+    pub tolerance: f64,
+}
+
+impl Default for RiccatiOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Solves the discrete algebraic Riccati equation (DARE)
+///
+/// ```text
+/// P = Aᵀ P A − Aᵀ P B (R + Bᵀ P B)⁻¹ Bᵀ P A + Q
+/// ```
+///
+/// by fixed-point iteration starting from `P = Q`. The solution is used both
+/// for LQR gain design (with `A`, `B` the plant matrices) and for the
+/// steady-state Kalman filter (with `Aᵀ`, `Cᵀ` in place of `A`, `B`).
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] / [`LinalgError::ShapeMismatch`] when the
+///   matrix dimensions are inconsistent,
+/// - [`LinalgError::Singular`] when `R + Bᵀ P B` cannot be inverted,
+/// - [`LinalgError::NoConvergence`] when the iteration budget is exhausted
+///   (e.g. for an unstabilisable pair).
+///
+/// # Example
+///
+/// ```
+/// use cps_linalg::{solve_dare, Matrix, RiccatiOptions};
+///
+/// # fn main() -> Result<(), cps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let b = Matrix::from_rows(&[&[0.0], &[0.1]])?;
+/// let q = Matrix::identity(2);
+/// let r = Matrix::from_diag(&[1.0]);
+/// let p = solve_dare(&a, &b, &q, &r, RiccatiOptions::default())?;
+/// assert!(p.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_dare(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+    options: RiccatiOptions,
+) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.rows() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "DARE input map",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = b.cols();
+    if q.shape() != (n, n) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "DARE state cost",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
+    }
+    if r.shape() != (m, m) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "DARE input cost",
+            lhs: (m, m),
+            rhs: r.shape(),
+        });
+    }
+
+    let a_t = a.transpose();
+    let b_t = b.transpose();
+    let mut p = q.clone();
+    for iteration in 0..options.max_iterations {
+        // P_{k+1} = Aᵀ P A − Aᵀ P B (R + Bᵀ P B)⁻¹ Bᵀ P A + Q
+        let pa = p.matmul(a)?;
+        let pb = p.matmul(b)?;
+        let atpa = a_t.matmul(&pa)?;
+        let atpb = a_t.matmul(&pb)?;
+        let btpb = b_t.matmul(&pb)?;
+        let gram = &btpb + r;
+        let btpa = b_t.matmul(&pa)?;
+        let correction = atpb.matmul(&gram.lu()?.solve_matrix(&btpa)?)?;
+        let next = &(&atpa - &correction) + q;
+        let delta = (&next - &p).norm_fro();
+        p = next;
+        if !p.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                iterations: iteration + 1,
+                residual: f64::INFINITY,
+            });
+        }
+        if delta <= options.tolerance {
+            return Ok(p);
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+/// Solves the discrete Lyapunov equation `P = A P Aᵀ + Q` by fixed-point
+/// iteration (requires `A` to be Schur stable).
+///
+/// Used to compute steady-state state covariances for noise-driven closed
+/// loops.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] / [`LinalgError::ShapeMismatch`] for
+///   inconsistent dimensions,
+/// - [`LinalgError::NoConvergence`] when `A` is not stable enough for the
+///   iteration to converge within the budget.
+pub fn solve_discrete_lyapunov(
+    a: &Matrix,
+    q: &Matrix,
+    options: RiccatiOptions,
+) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if q.shape() != a.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "discrete Lyapunov",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
+    }
+    let a_t = a.transpose();
+    let mut p = q.clone();
+    for iteration in 0..options.max_iterations {
+        let apa = a.matmul(&p)?.matmul(&a_t)?;
+        let next = &apa + q;
+        let delta = (&next - &p).norm_fro();
+        p = next;
+        if !p.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                iterations: iteration + 1,
+                residual: f64::INFINITY,
+            });
+        }
+        if delta <= options.tolerance {
+            return Ok(p);
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn scalar_dare_matches_closed_form() {
+        // Scalar case: a = 0.9, b = 1, q = 1, r = 1.
+        // P = a²P − a²P²/(1+P) + q  has a positive root we can verify numerically.
+        let a = Matrix::from_diag(&[0.9]);
+        let b = Matrix::from_diag(&[1.0]);
+        let q = Matrix::from_diag(&[1.0]);
+        let r = Matrix::from_diag(&[1.0]);
+        let p = solve_dare(&a, &b, &q, &r, RiccatiOptions::default()).unwrap();
+        let p00 = p[(0, 0)];
+        let rhs = 0.81 * p00 - 0.81 * p00 * p00 / (1.0 + p00) + 1.0;
+        assert!(approx_eq(p00, rhs, 1e-8), "fixed point violated: {p00} vs {rhs}");
+        assert!(p00 > 0.0);
+    }
+
+    #[test]
+    fn dare_solution_satisfies_equation_for_two_states() {
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap();
+        let q = Matrix::identity(2);
+        let r = Matrix::from_diag(&[0.5]);
+        let p = solve_dare(&a, &b, &q, &r, RiccatiOptions::default()).unwrap();
+
+        let a_t = a.transpose();
+        let b_t = b.transpose();
+        let pa = p.matmul(&a).unwrap();
+        let pb = p.matmul(&b).unwrap();
+        let gram = &b_t.matmul(&pb).unwrap() + &r;
+        let correction = a_t
+            .matmul(&pb)
+            .unwrap()
+            .matmul(&gram.lu().unwrap().solve_matrix(&b_t.matmul(&pa).unwrap()).unwrap())
+            .unwrap();
+        let rhs = &(&a_t.matmul(&pa).unwrap() - &correction) + &q;
+        assert!((rhs - p).norm_fro() < 1e-6);
+    }
+
+    #[test]
+    fn dare_rejects_shape_mismatches() {
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(3, 1);
+        let q = Matrix::identity(2);
+        let r = Matrix::identity(1);
+        assert!(solve_dare(&a, &b, &q, &r, RiccatiOptions::default()).is_err());
+        assert!(solve_dare(&Matrix::zeros(2, 3), &b, &q, &r, RiccatiOptions::default()).is_err());
+    }
+
+    #[test]
+    fn lyapunov_solution_satisfies_equation() {
+        let a = Matrix::from_rows(&[&[0.5, 0.1], &[0.0, 0.3]]).unwrap();
+        let q = Matrix::identity(2);
+        let p = solve_discrete_lyapunov(&a, &q, RiccatiOptions::default()).unwrap();
+        let rhs = &a.matmul(&p).unwrap().matmul(&a.transpose()).unwrap() + &q;
+        assert!((rhs - p).norm_fro() < 1e-9);
+    }
+
+    #[test]
+    fn lyapunov_diverges_for_unstable_a() {
+        let a = Matrix::from_diag(&[1.5]);
+        let q = Matrix::identity(1);
+        let err = solve_discrete_lyapunov(
+            &a,
+            &q,
+            RiccatiOptions {
+                max_iterations: 500,
+                tolerance: 1e-12,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn lyapunov_rejects_shape_mismatch() {
+        let a = Matrix::identity(2);
+        let q = Matrix::identity(3);
+        assert!(solve_discrete_lyapunov(&a, &q, RiccatiOptions::default()).is_err());
+    }
+}

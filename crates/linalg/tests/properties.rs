@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cps_linalg::{expm, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy producing small, well-scaled square matrices.
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_fn(n, n, |i, j| data[i * n + j]))
+}
+
+/// Strategy producing a diagonally dominant (hence invertible) matrix.
+fn invertible_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |m| {
+        let mut out = m;
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| out[(i, j)].abs()).sum();
+            out[(i, i)] = row_sum + 1.0;
+        }
+        out
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-10.0f64..10.0, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in square_matrix(3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral(m in square_matrix(3)) {
+        let i = Matrix::identity(3);
+        prop_assert!(((m.matmul(&i).unwrap()) - m.clone()).norm_fro() < 1e-12);
+        prop_assert!(((i.matmul(&m).unwrap()) - m).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn addition_commutes(a in square_matrix(3), b in square_matrix(3)) {
+        prop_assert!(((&a + &b) - (&b + &a)).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in square_matrix(3),
+        b in square_matrix(3),
+        c in square_matrix(3),
+    ) {
+        let lhs = a.matmul(&(&b + &c)).unwrap();
+        let rhs = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        prop_assert!((lhs - rhs).norm_fro() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_of_product_reverses(a in square_matrix(3), b in square_matrix(3)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!((lhs - rhs).norm_fro() < 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_produces_small_residual(a in invertible_matrix(4), b in vector(4)) {
+        let x = a.solve(&b).unwrap();
+        let residual = (&a.mul_vec(&x) - &b).norm_inf();
+        prop_assert!(residual < 1e-7, "residual {}", residual);
+    }
+
+    #[test]
+    fn inverse_round_trip(a in invertible_matrix(3)) {
+        let inv = a.inverse().unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        prop_assert!((eye - Matrix::identity(3)).norm_fro() < 1e-7);
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        a in invertible_matrix(3),
+        b in invertible_matrix(3),
+    ) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.matmul(&b).unwrap().determinant().unwrap();
+        // Relative comparison: determinants of diagonally dominant matrices can be large.
+        prop_assert!((dab - da * db).abs() <= 1e-6 * da.abs().max(1.0) * db.abs().max(1.0));
+    }
+
+    #[test]
+    fn vector_norm_triangle_inequality(a in vector(5), b in vector(5)) {
+        prop_assert!((&a + &b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-12);
+        prop_assert!((&a + &b).norm_l1() <= a.norm_l1() + b.norm_l1() + 1e-12);
+        prop_assert!((&a + &b).norm_inf() <= a.norm_inf() + b.norm_inf() + 1e-12);
+    }
+
+    #[test]
+    fn norm_ordering_holds(a in vector(5)) {
+        // ‖a‖∞ ≤ ‖a‖₂ ≤ ‖a‖₁ for every vector.
+        prop_assert!(a.norm_inf() <= a.norm_l2() + 1e-12);
+        prop_assert!(a.norm_l2() <= a.norm_l1() + 1e-12);
+    }
+
+    #[test]
+    fn dot_product_is_symmetric(a in vector(4), b in vector(4)) {
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_of_negated_matrix_is_inverse(m in square_matrix(2)) {
+        // e^A · e^{-A} = I for every square A.
+        let scaled = m.scale(0.2); // keep the norm modest for numerical accuracy
+        let e = expm(&scaled).unwrap();
+        let e_neg = expm(&scaled.scale(-1.0)).unwrap();
+        let prod = e.matmul(&e_neg).unwrap();
+        prop_assert!((prod - Matrix::identity(2)).norm_fro() < 1e-7);
+    }
+
+    #[test]
+    fn matrix_pow_matches_repeated_multiplication(m in square_matrix(3), exp in 0u32..5) {
+        let fast = m.pow(exp).unwrap();
+        let mut slow = Matrix::identity(3);
+        for _ in 0..exp {
+            slow = slow.matmul(&m).unwrap();
+        }
+        prop_assert!((fast - slow).norm_fro() < 1e-6);
+    }
+}

@@ -1,0 +1,117 @@
+use cps_control::{
+    kalman_gain, lqr_gain, ClosedLoop, ContinuousStateSpace, ControlError, NoiseModel, Reference,
+};
+use cps_linalg::{Matrix, Vector};
+use cps_monitors::{Monitor, MonitorSuite};
+
+use crate::{Benchmark, PerformanceCriterion};
+
+/// A DC-motor speed-control loop (extension benchmark, not from the paper).
+///
+/// States `[armature current, angular speed]`, voltage input, speed sensor on
+/// the network (spoofable). The monitor suite bounds the measured speed and
+/// its gradient with a short dead zone.
+///
+/// # Errors
+///
+/// Propagates numerical failures from discretisation or gain design.
+pub fn dc_motor() -> Result<Benchmark, ControlError> {
+    let ts = 0.05;
+    // Electrical/mechanical parameters of a small motor.
+    let resistance = 1.0; // Ω
+    let inductance = 0.5; // H
+    let kt = 0.1; // N·m/A torque constant (= back-EMF constant)
+    let inertia = 0.01; // kg·m²
+    let damping = 0.1; // N·m·s
+
+    let continuous = ContinuousStateSpace::new(
+        Matrix::from_rows(&[
+            &[-resistance / inductance, -kt / inductance],
+            &[kt / inertia, -damping / inertia],
+        ])
+        .map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[1.0 / inductance], &[0.0]]).map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[0.0, 1.0]]).map_err(ControlError::from)?,
+        Matrix::zeros(1, 1),
+    )?;
+    let plant = continuous.discretize(ts)?;
+
+    let controller = lqr_gain(&plant, &Matrix::from_diag(&[0.1, 10.0]), &Matrix::from_diag(&[1.0]))?;
+    let estimator = kalman_gain(
+        &plant,
+        &Matrix::from_diag(&[1e-4, 1e-4]),
+        &Matrix::from_diag(&[1e-3]),
+    )?;
+
+    // Equilibrium for a target speed of 1 rad/s.
+    let target = 1.0;
+    let a = plant.a();
+    let b = plant.b();
+    let system = Matrix::from_rows(&[
+        &[1.0 - a[(0, 0)], -a[(0, 1)], -b[(0, 0)]],
+        &[-a[(1, 0)], 1.0 - a[(1, 1)], -b[(1, 0)]],
+        &[0.0, 1.0, 0.0],
+    ])
+    .map_err(ControlError::from)?;
+    let solution = system.solve(&Vector::from_slice(&[0.0, 0.0, target]))?;
+    let x_des = Vector::from_slice(&[solution[0], solution[1]]);
+    let u_eq = Vector::from_slice(&[solution[2]]);
+
+    let closed_loop = ClosedLoop::new(plant, controller, estimator)?
+        .with_reference(Reference::with_equilibrium_input(x_des, u_eq));
+
+    let monitors = MonitorSuite::new(
+        vec![Monitor::range(0, -0.5, 2.0), Monitor::gradient(0, 8.0)],
+        3,
+        ts,
+    );
+
+    Ok(Benchmark {
+        name: "dc-motor".to_string(),
+        closed_loop,
+        monitors,
+        performance: PerformanceCriterion::ReachBand {
+            state: 1,
+            target,
+            tolerance: 0.15,
+        },
+        initial_state: Vector::zeros(2),
+        horizon: 40,
+        noise: NoiseModel::new(vec![1e-4, 1e-4], vec![5e-3]),
+        attacked_sensors: vec![0],
+        attack_bound: 2.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_run_satisfies_pfc_and_monitors() {
+        let benchmark = dc_motor().unwrap();
+        let trace = benchmark.closed_loop.simulate(
+            &benchmark.initial_state,
+            benchmark.horizon,
+            &NoiseModel::none(2, 1),
+            None,
+            0,
+        );
+        assert!(
+            benchmark
+                .performance
+                .satisfied_by(trace.states().last().unwrap()),
+            "final state {} misses the speed target",
+            trace.states().last().unwrap()
+        );
+        assert!(!benchmark.monitors.evaluate(trace.measurements()).alarmed());
+    }
+
+    #[test]
+    fn metadata() {
+        let benchmark = dc_motor().unwrap();
+        assert_eq!(benchmark.num_states(), 2);
+        assert_eq!(benchmark.num_outputs(), 1);
+        assert_eq!(benchmark.attacked_sensors, vec![0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Benchmark closed-loop CPS models used by the synthesis experiments.
+//!
+//! Each function returns a fully assembled [`Benchmark`]: the discrete plant,
+//! the designed LQR controller and steady-state Kalman estimator, the plant's
+//! monitoring constraints (`mdc`), the performance criterion (`pfc`), the
+//! attacker's sensor access and the nominal noise model. The two models from
+//! the paper are:
+//!
+//! - [`vsc`] — the Vehicle Stability Controller case study of §IV, a lateral
+//!   single-track model with yaw-rate and lateral-acceleration sensors on the
+//!   CAN bus, range/gradient/relation monitors with a 300 ms dead zone and a
+//!   yaw-rate tracking performance criterion;
+//! - [`trajectory_tracking`] — the motivational example of Fig. 1, a position
+//!   tracking loop with a step reference.
+//!
+//! Three further benchmarks ([`dc_motor`], [`inverted_pendulum`],
+//! [`quadruple_tank`]) exercise the synthesis algorithms beyond the paper's
+//! case study.
+//!
+//! # Example
+//!
+//! ```
+//! let benchmark = cps_models::vsc().expect("VSC model builds");
+//! assert_eq!(benchmark.closed_loop.plant().num_outputs(), 2);
+//! assert_eq!(benchmark.horizon, 50);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmark;
+mod dc_motor;
+mod pendulum;
+mod tank;
+mod trajectory;
+mod vehicle;
+
+pub use benchmark::{Benchmark, PerformanceCriterion};
+pub use dc_motor::dc_motor;
+pub use pendulum::inverted_pendulum;
+pub use tank::quadruple_tank;
+pub use trajectory::trajectory_tracking;
+pub use vehicle::vsc;
+
+/// All benchmarks in the crate, in a stable order (useful for sweeps).
+///
+/// # Errors
+///
+/// Propagates the first model-construction failure (which indicates a bug in
+/// the model definitions rather than a user error).
+pub fn all_benchmarks() -> Result<Vec<Benchmark>, cps_control::ControlError> {
+    Ok(vec![
+        trajectory_tracking()?,
+        vsc()?,
+        dc_motor()?,
+        inverted_pendulum()?,
+        quadruple_tank()?,
+    ])
+}

@@ -1,0 +1,137 @@
+use cps_control::{
+    kalman_gain, lqr_gain, ClosedLoop, ContinuousStateSpace, ControlError, NoiseModel,
+};
+use cps_linalg::{Matrix, Vector};
+use cps_monitors::{Monitor, MonitorSuite};
+
+use crate::{Benchmark, PerformanceCriterion};
+
+/// A linearised cart-pole (inverted pendulum) stabilisation loop
+/// (extension benchmark, not from the paper).
+///
+/// States `[cart position, cart velocity, pole angle, pole angular rate]`,
+/// force input, position and angle sensors (the angle sensor is spoofable).
+/// The open-loop plant is unstable, which makes it the most attack-sensitive
+/// benchmark in the suite: small measurement falsifications translate into
+/// fast physical divergence.
+///
+/// # Errors
+///
+/// Propagates numerical failures from discretisation or gain design.
+pub fn inverted_pendulum() -> Result<Benchmark, ControlError> {
+    let ts = 0.02;
+    // Standard cart-pole parameters.
+    let cart_mass = 0.5; // kg
+    let pole_mass = 0.2; // kg
+    let friction = 0.1; // N·s/m
+    let pole_inertia = 0.006; // kg·m²
+    let gravity = 9.8; // m/s²
+    let pole_length = 0.3; // m (to centre of mass)
+
+    let p = pole_inertia * (cart_mass + pole_mass) + cart_mass * pole_mass * pole_length * pole_length;
+    let a22 = -(pole_inertia + pole_mass * pole_length * pole_length) * friction / p;
+    let a23 = pole_mass * pole_mass * gravity * pole_length * pole_length / p;
+    let a42 = -pole_mass * pole_length * friction / p;
+    let a43 = pole_mass * gravity * pole_length * (cart_mass + pole_mass) / p;
+    let b2 = (pole_inertia + pole_mass * pole_length * pole_length) / p;
+    let b4 = pole_mass * pole_length / p;
+
+    let continuous = ContinuousStateSpace::new(
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, a22, a23, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, a42, a43, 0.0],
+        ])
+        .map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[0.0], &[b2], &[0.0], &[b4]]).map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]])
+            .map_err(ControlError::from)?,
+        Matrix::zeros(2, 1),
+    )?;
+    let plant = continuous.discretize(ts)?;
+
+    let controller = lqr_gain(
+        &plant,
+        &Matrix::from_diag(&[10.0, 1.0, 100.0, 1.0]),
+        &Matrix::from_diag(&[1.0]),
+    )?;
+    let estimator = kalman_gain(
+        &plant,
+        &Matrix::identity(4).scale(1e-5),
+        &Matrix::from_diag(&[1e-4, 1e-4]),
+    )?;
+    let closed_loop = ClosedLoop::new(plant, controller, estimator)?;
+
+    let monitors = MonitorSuite::new(
+        vec![
+            Monitor::range(0, -0.5, 0.5),
+            Monitor::range(1, -0.3, 0.3),
+            Monitor::gradient(1, 3.0),
+        ],
+        3,
+        ts,
+    );
+
+    Ok(Benchmark {
+        name: "inverted-pendulum".to_string(),
+        closed_loop,
+        monitors,
+        performance: PerformanceCriterion::ReachBand {
+            state: 2,
+            target: 0.0,
+            tolerance: 0.03,
+        },
+        initial_state: Vector::from_slice(&[0.05, 0.0, 0.08, 0.0]),
+        horizon: 80,
+        noise: NoiseModel::new(vec![1e-5; 4], vec![1e-4, 1e-4]),
+        attacked_sensors: vec![1],
+        attack_bound: 0.5,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_is_unstable_but_closed_loop_is_stable() {
+        let benchmark = inverted_pendulum().unwrap();
+        let plant = benchmark.closed_loop.plant();
+        assert!(plant.spectral_radius() > 1.0, "cart-pole should be unstable");
+        let closed = plant.a()
+            - &plant
+                .b()
+                .matmul(benchmark.closed_loop.controller_gain())
+                .unwrap();
+        assert!(closed.spectral_radius_estimate(500).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn nominal_run_balances_the_pole() {
+        let benchmark = inverted_pendulum().unwrap();
+        let trace = benchmark.closed_loop.simulate(
+            &benchmark.initial_state,
+            benchmark.horizon,
+            &NoiseModel::none(4, 2),
+            None,
+            0,
+        );
+        assert!(
+            benchmark
+                .performance
+                .satisfied_by(trace.states().last().unwrap()),
+            "pole angle did not settle: {}",
+            trace.states().last().unwrap()
+        );
+        assert!(!benchmark.monitors.evaluate(trace.measurements()).alarmed());
+    }
+
+    #[test]
+    fn metadata() {
+        let benchmark = inverted_pendulum().unwrap();
+        assert_eq!(benchmark.num_states(), 4);
+        assert_eq!(benchmark.num_outputs(), 2);
+        assert_eq!(benchmark.attacked_sensors, vec![1]);
+    }
+}

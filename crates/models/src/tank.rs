@@ -1,0 +1,163 @@
+use cps_control::{
+    kalman_gain, lqr_gain, ClosedLoop, ContinuousStateSpace, ControlError, NoiseModel, Reference,
+};
+use cps_linalg::{Matrix, Vector};
+use cps_monitors::{Monitor, MonitorSuite};
+
+use crate::{Benchmark, PerformanceCriterion};
+
+/// The quadruple-tank process (extension benchmark, not from the paper).
+///
+/// Four coupled tank levels, two pump inputs, level sensors on the two lower
+/// tanks (both spoofable). The linearised minimum-phase configuration of
+/// Johansson's classic benchmark is used; the slow dynamics make it a good
+/// contrast to the fast VSC loop when sweeping the synthesis algorithms.
+///
+/// # Errors
+///
+/// Propagates numerical failures from discretisation or gain design.
+pub fn quadruple_tank() -> Result<Benchmark, ControlError> {
+    let ts = 3.0;
+    // Time constants and geometry of the linearised model (minimum-phase setting).
+    let t1 = 62.0;
+    let t2 = 90.0;
+    let t3 = 23.0;
+    let t4 = 30.0;
+    let a1 = 28.0;
+    let a2 = 32.0;
+    let a3 = 28.0;
+    let a4 = 32.0;
+    let k1 = 3.33;
+    let k2 = 3.35;
+    let gamma1 = 0.7;
+    let gamma2 = 0.6;
+
+    let continuous = ContinuousStateSpace::new(
+        Matrix::from_rows(&[
+            &[-1.0 / t1, 0.0, a3 / (a1 * t3), 0.0],
+            &[0.0, -1.0 / t2, 0.0, a4 / (a2 * t4)],
+            &[0.0, 0.0, -1.0 / t3, 0.0],
+            &[0.0, 0.0, 0.0, -1.0 / t4],
+        ])
+        .map_err(ControlError::from)?,
+        Matrix::from_rows(&[
+            &[gamma1 * k1 / a1, 0.0],
+            &[0.0, gamma2 * k2 / a2],
+            &[0.0, (1.0 - gamma2) * k2 / a3],
+            &[(1.0 - gamma1) * k1 / a4, 0.0],
+        ])
+        .map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[0.5, 0.0, 0.0, 0.0], &[0.0, 0.5, 0.0, 0.0]])
+            .map_err(ControlError::from)?,
+        Matrix::zeros(2, 2),
+    )?;
+    let plant = continuous.discretize(ts)?;
+
+    let controller = lqr_gain(
+        &plant,
+        &Matrix::from_diag(&[10.0, 10.0, 1.0, 1.0]),
+        &Matrix::identity(2),
+    )?;
+    let estimator = kalman_gain(
+        &plant,
+        &Matrix::identity(4).scale(1e-4),
+        &Matrix::from_diag(&[1e-3, 1e-3]),
+    )?;
+
+    // Equilibrium holding tank levels 1 and 2 at the target deviation.
+    let target = 1.0;
+    let a = plant.a();
+    let b = plant.b();
+    // Unknowns [x1..x4, u1, u2]; equations: 4 state equations + the 2 targets.
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..4 {
+        let mut row = vec![0.0; 6];
+        for j in 0..4 {
+            row[j] = if i == j { 1.0 - a[(i, j)] } else { -a[(i, j)] };
+        }
+        row[4] = -b[(i, 0)];
+        row[5] = -b[(i, 1)];
+        rows.push(row);
+    }
+    rows.push(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    rows.push(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let system = Matrix::from_rows(&row_refs).map_err(ControlError::from)?;
+    let rhs = Vector::from_slice(&[0.0, 0.0, 0.0, 0.0, target, target]);
+    let solution = system.solve(&rhs)?;
+    let x_des = Vector::from_slice(&[solution[0], solution[1], solution[2], solution[3]]);
+    let u_eq = Vector::from_slice(&[solution[4], solution[5]]);
+
+    let closed_loop = ClosedLoop::new(plant, controller, estimator)?
+        .with_reference(Reference::with_equilibrium_input(x_des, u_eq));
+
+    let monitors = MonitorSuite::new(
+        vec![
+            Monitor::range(0, -2.0, 2.0),
+            Monitor::range(1, -2.0, 2.0),
+            Monitor::gradient(0, 0.2),
+            Monitor::gradient(1, 0.2),
+        ],
+        3,
+        ts,
+    );
+
+    Ok(Benchmark {
+        name: "quadruple-tank".to_string(),
+        closed_loop,
+        monitors,
+        performance: PerformanceCriterion::ReachBand {
+            state: 0,
+            target,
+            tolerance: 0.25,
+        },
+        initial_state: Vector::zeros(4),
+        horizon: 60,
+        noise: NoiseModel::new(vec![1e-3; 4], vec![1e-2, 1e-2]),
+        attacked_sensors: vec![0, 1],
+        attack_bound: 2.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_run_satisfies_pfc_and_monitors() {
+        let benchmark = quadruple_tank().unwrap();
+        let trace = benchmark.closed_loop.simulate(
+            &benchmark.initial_state,
+            benchmark.horizon,
+            &NoiseModel::none(4, 2),
+            None,
+            0,
+        );
+        assert!(
+            benchmark
+                .performance
+                .satisfied_by(trace.states().last().unwrap()),
+            "final level {} misses the target",
+            trace.states().last().unwrap()
+        );
+        assert!(!benchmark.monitors.evaluate(trace.measurements()).alarmed());
+    }
+
+    #[test]
+    fn equilibrium_is_consistent() {
+        let benchmark = quadruple_tank().unwrap();
+        let x_des = benchmark.closed_loop.reference().x_des().clone();
+        let u_eq = benchmark.closed_loop.reference().u_eq().clone();
+        let next = benchmark.closed_loop.plant().step(&x_des, &u_eq);
+        assert!((&next - &x_des).norm_inf() < 1e-8);
+        assert!((x_des[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata() {
+        let benchmark = quadruple_tank().unwrap();
+        assert_eq!(benchmark.num_states(), 4);
+        assert_eq!(benchmark.num_outputs(), 2);
+        assert_eq!(benchmark.attacked_sensors, vec![0, 1]);
+    }
+}

@@ -1,0 +1,137 @@
+use cps_control::{kalman_gain, lqr_gain, ClosedLoop, ControlError, NoiseModel, Reference, StateSpace};
+use cps_linalg::{Matrix, Vector};
+use cps_monitors::MonitorSuite;
+
+use crate::{Benchmark, PerformanceCriterion};
+
+/// The trajectory-tracking system of the paper's motivational example
+/// (Fig. 1): a sampled double integrator tracking a position step reference,
+/// with a position sensor the attacker can spoof.
+///
+/// - sampling period 0.1 s, horizon 10 samples (the figure's 1 s window),
+/// - reference step of 0.5 m,
+/// - `pfc`: position within ±0.05 m of the reference at the end of the
+///   horizon,
+/// - no plant monitors (`mdc` is empty) — the figure compares residue
+///   detectors only.
+///
+/// # Errors
+///
+/// Propagates numerical failures from the gain design (should not occur for
+/// this fixed model).
+pub fn trajectory_tracking() -> Result<Benchmark, ControlError> {
+    let ts = 0.1;
+    // Double integrator (position, velocity) with acceleration input, ZOH-sampled.
+    let plant = StateSpace::new(
+        Matrix::from_rows(&[&[1.0, ts], &[0.0, 1.0]]).map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[ts * ts / 2.0], &[ts]]).map_err(ControlError::from)?,
+        Matrix::from_rows(&[&[1.0, 0.0]]).map_err(ControlError::from)?,
+        Matrix::zeros(1, 1),
+    )?;
+
+    // Aggressive tracking: the figure reaches the reference within ~10 samples.
+    let q = Matrix::from_diag(&[800.0, 40.0]);
+    let r = Matrix::from_diag(&[0.5]);
+    let controller = lqr_gain(&plant, &q, &r)?;
+    let estimator = kalman_gain(
+        &plant,
+        &Matrix::from_diag(&[1e-5, 1e-5]),
+        &Matrix::from_diag(&[1e-4]),
+    )?;
+
+    let target = 0.5;
+    let closed_loop = ClosedLoop::new(plant, controller, estimator)?
+        .with_reference(Reference::state_target(Vector::from_slice(&[target, 0.0])));
+
+    Ok(Benchmark {
+        name: "trajectory-tracking".to_string(),
+        closed_loop,
+        monitors: MonitorSuite::empty(ts),
+        performance: PerformanceCriterion::ReachBand {
+            state: 0,
+            target,
+            tolerance: 0.05,
+        },
+        initial_state: Vector::zeros(2),
+        horizon: 10,
+        noise: NoiseModel::new(vec![1e-4, 1e-4], vec![5e-3]),
+        attacked_sensors: vec![0],
+        attack_bound: 1.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_control::ResidueNorm;
+
+    #[test]
+    fn nominal_run_satisfies_pfc() {
+        let benchmark = trajectory_tracking().unwrap();
+        let trace = benchmark.closed_loop.simulate(
+            &benchmark.initial_state,
+            benchmark.horizon,
+            &NoiseModel::none(2, 1),
+            None,
+            0,
+        );
+        let final_state = trace.states().last().unwrap();
+        assert!(
+            benchmark.performance.satisfied_by(final_state),
+            "nominal final state {final_state} misses the reference"
+        );
+    }
+
+    #[test]
+    fn nominal_residues_are_negligible() {
+        let benchmark = trajectory_tracking().unwrap();
+        let trace = benchmark.closed_loop.simulate(
+            &benchmark.initial_state,
+            benchmark.horizon,
+            &NoiseModel::none(2, 1),
+            None,
+            0,
+        );
+        let max = trace
+            .residue_norms(ResidueNorm::Linf)
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!(max < 1e-9, "noise-free nominal residue should vanish, got {max}");
+    }
+
+    #[test]
+    fn noisy_runs_usually_satisfy_pfc() {
+        let benchmark = trajectory_tracking().unwrap();
+        let mut satisfied = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let trace = benchmark.closed_loop.simulate(
+                &benchmark.initial_state,
+                benchmark.horizon,
+                &benchmark.noise,
+                None,
+                seed,
+            );
+            if benchmark
+                .performance
+                .satisfied_by(trace.states().last().unwrap())
+            {
+                satisfied += 1;
+            }
+        }
+        assert!(
+            satisfied >= trials * 8 / 10,
+            "only {satisfied}/{trials} noisy runs satisfied pfc"
+        );
+    }
+
+    #[test]
+    fn benchmark_metadata_is_consistent() {
+        let benchmark = trajectory_tracking().unwrap();
+        assert_eq!(benchmark.num_states(), 2);
+        assert_eq!(benchmark.num_outputs(), 1);
+        assert_eq!(benchmark.sampling_period(), 0.1);
+        assert!(benchmark.monitors.is_empty());
+        assert_eq!(benchmark.attacked_sensors, vec![0]);
+    }
+}

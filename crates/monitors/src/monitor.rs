@@ -1,0 +1,281 @@
+use serde::{Deserialize, Serialize};
+
+use cps_linalg::Vector;
+use cps_smt::Formula;
+
+use crate::MeasurementSymbols;
+
+/// Range monitor: measurement component `signal` must stay in
+/// `[lower, upper]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeMonitor {
+    /// Index of the monitored measurement component.
+    pub signal: usize,
+    /// Lower admissible value.
+    pub lower: f64,
+    /// Upper admissible value.
+    pub upper: f64,
+}
+
+impl RangeMonitor {
+    /// Creates a range monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn new(signal: usize, lower: f64, upper: f64) -> Self {
+        assert!(lower <= upper, "range monitor bounds are inverted");
+        Self {
+            signal,
+            lower,
+            upper,
+        }
+    }
+}
+
+/// Gradient monitor: the discrete rate of change of measurement component
+/// `signal` must not exceed `max_rate` in magnitude,
+/// `|y_k[s] − y_{k−1}[s]| / T_s ≤ max_rate`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientMonitor {
+    /// Index of the monitored measurement component.
+    pub signal: usize,
+    /// Maximum admissible rate of change (units of the signal per second).
+    pub max_rate: f64,
+}
+
+impl GradientMonitor {
+    /// Creates a gradient monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is negative.
+    pub fn new(signal: usize, max_rate: f64) -> Self {
+        assert!(max_rate >= 0.0, "gradient bound must be non-negative");
+        Self { signal, max_rate }
+    }
+}
+
+/// Relation monitor: two redundant measurements must agree,
+/// `|y_k[a] − coeff_b · y_k[b]| ≤ allowed_diff`.
+///
+/// In the VSC case study `a` is the yaw-rate sensor and `coeff_b · y[b]` the
+/// yaw rate estimated from lateral acceleration (`a_y / v_x`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationMonitor {
+    /// Index of the primary measurement component.
+    pub signal_a: usize,
+    /// Index of the redundant measurement component.
+    pub signal_b: usize,
+    /// Scaling applied to the redundant component before comparison.
+    pub coeff_b: f64,
+    /// Maximum admissible disagreement.
+    pub allowed_diff: f64,
+}
+
+impl RelationMonitor {
+    /// Creates a relation monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed_diff` is negative.
+    pub fn new(signal_a: usize, signal_b: usize, coeff_b: f64, allowed_diff: f64) -> Self {
+        assert!(allowed_diff >= 0.0, "allowed difference must be non-negative");
+        Self {
+            signal_a,
+            signal_b,
+            coeff_b,
+            allowed_diff,
+        }
+    }
+}
+
+/// A single monitoring constraint evaluated at every sampling instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Monitor {
+    /// Range check on one measurement component.
+    Range(RangeMonitor),
+    /// Rate-of-change check on one measurement component.
+    Gradient(GradientMonitor),
+    /// Consistency check between two measurement components.
+    Relation(RelationMonitor),
+}
+
+impl Monitor {
+    /// Convenience constructor for a [`RangeMonitor`].
+    pub fn range(signal: usize, lower: f64, upper: f64) -> Self {
+        Monitor::Range(RangeMonitor::new(signal, lower, upper))
+    }
+
+    /// Convenience constructor for a [`GradientMonitor`].
+    pub fn gradient(signal: usize, max_rate: f64) -> Self {
+        Monitor::Gradient(GradientMonitor::new(signal, max_rate))
+    }
+
+    /// Convenience constructor for a [`RelationMonitor`].
+    pub fn relation(signal_a: usize, signal_b: usize, coeff_b: f64, allowed_diff: f64) -> Self {
+        Monitor::Relation(RelationMonitor::new(signal_a, signal_b, coeff_b, allowed_diff))
+    }
+
+    /// Returns `true` when the monitor is satisfied (not violated) at step `k`
+    /// of the measurement sequence, with sampling period `ts`.
+    ///
+    /// Gradient monitors are trivially satisfied at `k = 0` (no predecessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or a signal index exceeds the measurement
+    /// dimension.
+    pub fn ok_at(&self, k: usize, measurements: &[Vector], ts: f64) -> bool {
+        let y = &measurements[k];
+        match self {
+            Monitor::Range(m) => y[m.signal] >= m.lower && y[m.signal] <= m.upper,
+            Monitor::Gradient(m) => {
+                if k == 0 {
+                    true
+                } else {
+                    let rate = (y[m.signal] - measurements[k - 1][m.signal]) / ts;
+                    rate.abs() <= m.max_rate
+                }
+            }
+            Monitor::Relation(m) => {
+                (y[m.signal_a] - m.coeff_b * y[m.signal_b]).abs() <= m.allowed_diff
+            }
+        }
+    }
+
+    /// Symbolic counterpart of [`Monitor::ok_at`]: a formula over the
+    /// measurement expressions that is true exactly when the monitor is
+    /// satisfied at step `k`.
+    pub fn encode_ok_at(&self, k: usize, symbols: &MeasurementSymbols, ts: f64) -> Formula {
+        match self {
+            Monitor::Range(m) => {
+                let y = symbols.measurement(k, m.signal);
+                Formula::and(vec![
+                    Formula::atom(y.clone().ge(m.lower)),
+                    Formula::atom(y.le(m.upper)),
+                ])
+            }
+            Monitor::Gradient(m) => {
+                if k == 0 {
+                    Formula::True
+                } else {
+                    let diff = symbols.measurement(k, m.signal)
+                        - symbols.measurement(k - 1, m.signal);
+                    let bound = m.max_rate * ts;
+                    Formula::and(vec![
+                        Formula::atom(diff.clone().le(bound)),
+                        Formula::atom(diff.ge(-bound)),
+                    ])
+                }
+            }
+            Monitor::Relation(m) => {
+                let diff = symbols.measurement(k, m.signal_a)
+                    - symbols.measurement(k, m.signal_b).scale(m.coeff_b);
+                Formula::and(vec![
+                    Formula::atom(diff.clone().le(m.allowed_diff)),
+                    Formula::atom(diff.ge(-m.allowed_diff)),
+                ])
+            }
+        }
+    }
+
+    /// The measurement components referenced by this monitor.
+    pub fn signals(&self) -> Vec<usize> {
+        match self {
+            Monitor::Range(m) => vec![m.signal],
+            Monitor::Gradient(m) => vec![m.signal],
+            Monitor::Relation(m) => vec![m.signal_a, m.signal_b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(values: &[&[f64]]) -> Vec<Vector> {
+        values.iter().map(|v| Vector::from_slice(v)).collect()
+    }
+
+    #[test]
+    fn range_monitor_detects_out_of_range() {
+        let m = Monitor::range(0, -1.0, 1.0);
+        let ys = meas(&[&[0.5], &[1.5], &[-2.0]]);
+        assert!(m.ok_at(0, &ys, 0.1));
+        assert!(!m.ok_at(1, &ys, 0.1));
+        assert!(!m.ok_at(2, &ys, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn range_monitor_rejects_inverted_bounds() {
+        let _ = RangeMonitor::new(0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn gradient_monitor_detects_fast_changes() {
+        let m = Monitor::gradient(0, 2.0);
+        let ts = 0.1;
+        // Steps of 0.1 per sample = 1.0/s (ok); step of 0.5 per sample = 5.0/s (violation).
+        let ys = meas(&[&[0.0], &[0.1], &[0.6]]);
+        assert!(m.ok_at(0, &ys, ts), "first sample has no predecessor");
+        assert!(m.ok_at(1, &ys, ts));
+        assert!(!m.ok_at(2, &ys, ts));
+    }
+
+    #[test]
+    fn relation_monitor_compares_scaled_signals() {
+        // |y[0] - 2*y[1]| <= 0.1
+        let m = Monitor::relation(0, 1, 2.0, 0.1);
+        let ys = meas(&[&[2.0, 1.0], &[2.5, 1.0]]);
+        assert!(m.ok_at(0, &ys, 0.1));
+        assert!(!m.ok_at(1, &ys, 0.1));
+    }
+
+    #[test]
+    fn signals_lists_referenced_components() {
+        assert_eq!(Monitor::range(3, 0.0, 1.0).signals(), vec![3]);
+        assert_eq!(Monitor::relation(0, 2, 1.0, 0.1).signals(), vec![0, 2]);
+    }
+
+    #[test]
+    fn symbolic_and_runtime_agree_on_concrete_traces() {
+        use cps_smt::{LinExpr, VarPool};
+
+        let monitors = vec![
+            Monitor::range(0, -1.0, 1.0),
+            Monitor::gradient(0, 2.0),
+            Monitor::relation(0, 1, 0.5, 0.3),
+        ];
+        let ts = 0.1;
+        let ys = meas(&[&[0.2, 0.5], &[0.9, 1.0], &[0.95, 2.6]]);
+
+        // Build symbolic measurements that are just fresh variables, then
+        // evaluate the generated formulas at the concrete measurement values.
+        let mut pool = VarPool::new();
+        let mut exprs = Vec::new();
+        let mut assignment = Vec::new();
+        for y in &ys {
+            let mut row = Vec::new();
+            for j in 0..y.len() {
+                let var = pool.fresh(format!("y_{j}"));
+                row.push(LinExpr::var(var));
+                assignment.push(y[j]);
+            }
+            exprs.push(row);
+        }
+        let symbols = MeasurementSymbols::new(exprs);
+
+        for monitor in &monitors {
+            for k in 0..ys.len() {
+                let runtime = monitor.ok_at(k, &ys, ts);
+                let symbolic = monitor.encode_ok_at(k, &symbols, ts).holds(&assignment);
+                assert_eq!(
+                    runtime, symbolic,
+                    "monitor {monitor:?} disagrees at step {k}"
+                );
+            }
+        }
+    }
+}

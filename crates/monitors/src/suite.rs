@@ -1,0 +1,250 @@
+use serde::{Deserialize, Serialize};
+
+use cps_linalg::Vector;
+use cps_smt::Formula;
+
+use crate::{MeasurementSymbols, Monitor};
+
+/// Verdict of running a [`MonitorSuite`] over a measurement sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorVerdict {
+    /// `violations[k]` is `true` when at least one monitor is violated at
+    /// sampling instant `k`.
+    pub violations: Vec<bool>,
+    /// First sampling instant at which the alarm fires (i.e. the end of the
+    /// first run of `dead_zone` consecutive violations), if any.
+    pub alarm_at: Option<usize>,
+}
+
+impl MonitorVerdict {
+    /// Returns `true` when the monitoring system raised an alarm.
+    pub fn alarmed(&self) -> bool {
+        self.alarm_at.is_some()
+    }
+}
+
+/// A set of monitors debounced by a dead zone, matching the paper's `mdc`.
+///
+/// A sampling instant is *violating* when any monitor check fails there; the
+/// suite raises an alarm when `dead_zone` consecutive instants are violating.
+/// With `dead_zone == 1` a single violation alarms immediately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSuite {
+    monitors: Vec<Monitor>,
+    dead_zone: usize,
+    sampling_period: f64,
+}
+
+impl MonitorSuite {
+    /// Creates a suite from monitors, a dead zone length (in samples, at least
+    /// one) and the sampling period in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead_zone` is zero or `sampling_period` is not positive.
+    pub fn new(monitors: Vec<Monitor>, dead_zone: usize, sampling_period: f64) -> Self {
+        assert!(dead_zone >= 1, "dead zone must be at least one sample");
+        assert!(sampling_period > 0.0, "sampling period must be positive");
+        Self {
+            monitors,
+            dead_zone,
+            sampling_period,
+        }
+    }
+
+    /// A suite with no monitors (never alarms).
+    pub fn empty(sampling_period: f64) -> Self {
+        Self::new(Vec::new(), 1, sampling_period)
+    }
+
+    /// The monitors in the suite.
+    pub fn monitors(&self) -> &[Monitor] {
+        &self.monitors
+    }
+
+    /// The dead-zone length in samples.
+    pub fn dead_zone(&self) -> usize {
+        self.dead_zone
+    }
+
+    /// The sampling period in seconds.
+    pub fn sampling_period(&self) -> f64 {
+        self.sampling_period
+    }
+
+    /// Returns `true` when the suite contains no monitors.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Returns `true` when no monitor is violated at step `k`.
+    pub fn ok_at(&self, k: usize, measurements: &[Vector]) -> bool {
+        self.monitors
+            .iter()
+            .all(|m| m.ok_at(k, measurements, self.sampling_period))
+    }
+
+    /// Evaluates the suite over a measurement sequence.
+    pub fn evaluate(&self, measurements: &[Vector]) -> MonitorVerdict {
+        let violations: Vec<bool> = (0..measurements.len())
+            .map(|k| !self.ok_at(k, measurements))
+            .collect();
+        let mut run = 0usize;
+        let mut alarm_at = None;
+        for (k, &violated) in violations.iter().enumerate() {
+            if violated {
+                run += 1;
+                if run >= self.dead_zone {
+                    alarm_at = Some(k);
+                    break;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        MonitorVerdict {
+            violations,
+            alarm_at,
+        }
+    }
+
+    /// Symbolic "no violation at step `k`" formula.
+    pub fn encode_ok_at(&self, k: usize, symbols: &MeasurementSymbols) -> Formula {
+        Formula::and(
+            self.monitors
+                .iter()
+                .map(|m| m.encode_ok_at(k, symbols, self.sampling_period))
+                .collect(),
+        )
+    }
+
+    /// Symbolic stealthiness constraint over a whole horizon: the monitoring
+    /// system never raises an alarm, i.e. in every window of `dead_zone`
+    /// consecutive instants at least one instant is violation-free.
+    ///
+    /// With an empty suite this is simply `true`.
+    pub fn encode_stealth(&self, symbols: &MeasurementSymbols) -> Formula {
+        if self.monitors.is_empty() {
+            return Formula::True;
+        }
+        let horizon = symbols.len();
+        if horizon < self.dead_zone {
+            return Formula::True;
+        }
+        let ok: Vec<Formula> = (0..horizon)
+            .map(|k| self.encode_ok_at(k, symbols))
+            .collect();
+        let mut windows = Vec::new();
+        for start in 0..=(horizon - self.dead_zone) {
+            windows.push(Formula::or(
+                (start..start + self.dead_zone)
+                    .map(|k| ok[k].clone())
+                    .collect(),
+            ));
+        }
+        Formula::and(windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_smt::{LinExpr, VarPool};
+
+    fn meas(values: &[&[f64]]) -> Vec<Vector> {
+        values.iter().map(|v| Vector::from_slice(v)).collect()
+    }
+
+    fn range_suite(dead_zone: usize) -> MonitorSuite {
+        MonitorSuite::new(vec![Monitor::range(0, -1.0, 1.0)], dead_zone, 0.1)
+    }
+
+    #[test]
+    fn empty_suite_never_alarms() {
+        let suite = MonitorSuite::empty(0.04);
+        assert!(suite.is_empty());
+        let verdict = suite.evaluate(&meas(&[&[100.0], &[200.0]]));
+        assert!(!verdict.alarmed());
+    }
+
+    #[test]
+    fn dead_zone_debounces_transient_violations() {
+        let suite = range_suite(3);
+        // Two consecutive violations, then recovery: no alarm.
+        let verdict = suite.evaluate(&meas(&[&[2.0], &[2.0], &[0.0], &[2.0], &[2.0], &[0.0]]));
+        assert!(!verdict.alarmed());
+        assert_eq!(verdict.violations, vec![true, true, false, true, true, false]);
+        // Three consecutive violations: alarm at the third.
+        let verdict = suite.evaluate(&meas(&[&[0.0], &[2.0], &[2.0], &[2.0]]));
+        assert_eq!(verdict.alarm_at, Some(3));
+    }
+
+    #[test]
+    fn dead_zone_of_one_alarms_immediately() {
+        let suite = range_suite(1);
+        let verdict = suite.evaluate(&meas(&[&[0.0], &[5.0]]));
+        assert_eq!(verdict.alarm_at, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead zone")]
+    fn zero_dead_zone_is_rejected() {
+        let _ = MonitorSuite::new(vec![], 0, 0.1);
+    }
+
+    fn symbols_for(values: &[&[f64]]) -> (MeasurementSymbols, Vec<f64>) {
+        let mut pool = VarPool::new();
+        let mut exprs = Vec::new();
+        let mut assignment = Vec::new();
+        for row in values {
+            let mut step = Vec::new();
+            for value in row.iter() {
+                let var = pool.fresh("y");
+                step.push(LinExpr::var(var));
+                assignment.push(*value);
+            }
+            exprs.push(step);
+        }
+        (MeasurementSymbols::new(exprs), assignment)
+    }
+
+    #[test]
+    fn symbolic_stealth_matches_runtime_alarm() {
+        let suite = MonitorSuite::new(
+            vec![Monitor::range(0, -1.0, 1.0), Monitor::gradient(0, 20.0)],
+            2,
+            0.1,
+        );
+        // Stealthy: a single isolated range violation (step 2) within the dead zone.
+        let stealthy_values: Vec<&[f64]> = vec![&[0.2], &[0.4], &[1.5], &[0.3], &[0.2]];
+        // Alarming: two consecutive range violations (steps 1 and 2).
+        let alarming_values: Vec<&[f64]> = vec![&[0.2], &[1.5], &[1.6], &[0.3], &[0.2]];
+
+        for (values, expect_alarm) in [(stealthy_values, false), (alarming_values, true)] {
+            let runtime = suite.evaluate(&meas(&values)).alarmed();
+            assert_eq!(runtime, expect_alarm, "runtime verdict mismatch");
+            let (symbols, assignment) = symbols_for(&values);
+            let stealth = suite.encode_stealth(&symbols);
+            assert_eq!(
+                stealth.holds(&assignment),
+                !expect_alarm,
+                "symbolic stealth disagrees with runtime for {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealth_formula_is_true_for_short_horizons() {
+        let suite = range_suite(5);
+        let (symbols, _) = symbols_for(&[&[0.0], &[0.0]]);
+        assert_eq!(suite.encode_stealth(&symbols), Formula::True);
+    }
+
+    #[test]
+    fn accessors() {
+        let suite = range_suite(4);
+        assert_eq!(suite.monitors().len(), 1);
+        assert_eq!(suite.dead_zone(), 4);
+        assert_eq!(suite.sampling_period(), 0.1);
+    }
+}

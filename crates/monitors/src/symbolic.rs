@@ -1,0 +1,84 @@
+use cps_smt::LinExpr;
+
+/// Symbolic per-step measurement expressions used when encoding monitors into
+/// SMT formulas.
+///
+/// `MeasurementSymbols` is produced by the closed-loop unroller in the
+/// `secure-cps` crate: entry `(k, j)` is the affine expression (over the
+/// attack variables and any symbolic initial state) of measurement component
+/// `j` at sampling instant `k` *as seen by the monitoring system*, i.e.
+/// including the injected false data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementSymbols {
+    steps: Vec<Vec<LinExpr>>,
+}
+
+impl MeasurementSymbols {
+    /// Wraps per-step measurement expressions (outer index: sampling instant,
+    /// inner index: measurement component).
+    pub fn new(steps: Vec<Vec<LinExpr>>) -> Self {
+        Self { steps }
+    }
+
+    /// Number of sampling instants covered.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` when no steps are stored.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of measurement components per step (zero for an empty horizon).
+    pub fn num_signals(&self) -> usize {
+        self.steps.first().map_or(0, Vec::len)
+    }
+
+    /// The expression of measurement component `signal` at step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `signal` are out of range.
+    pub fn measurement(&self, k: usize, signal: usize) -> LinExpr {
+        self.steps[k][signal].clone()
+    }
+
+    /// All expressions of step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn step(&self, k: usize) -> &[LinExpr] {
+        &self.steps[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_smt::VarPool;
+
+    #[test]
+    fn accessors_return_expected_shapes() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+        let symbols = MeasurementSymbols::new(vec![
+            vec![LinExpr::var(a), LinExpr::var(b)],
+            vec![LinExpr::constant(1.0), LinExpr::var(a) * 2.0],
+        ]);
+        assert_eq!(symbols.len(), 2);
+        assert!(!symbols.is_empty());
+        assert_eq!(symbols.num_signals(), 2);
+        assert_eq!(symbols.measurement(1, 1).coefficient(a), 2.0);
+        assert_eq!(symbols.step(0).len(), 2);
+    }
+
+    #[test]
+    fn empty_symbols() {
+        let symbols = MeasurementSymbols::new(Vec::new());
+        assert!(symbols.is_empty());
+        assert_eq!(symbols.num_signals(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! A quantifier-free linear real arithmetic (QF-LRA) SMT solver.
+//!
+//! This crate is the workspace's substitute for the Z3 solver used in the
+//! paper *Formal Synthesis of Monitoring and Detection Systems for Secure CPS
+//! Implementations* (DATE 2020). Every query produced by unrolling an LTI
+//! closed loop — threshold bounds on residues, range/gradient/relation
+//! monitors, and the negated performance criterion — is a Boolean combination
+//! of linear constraints over real variables, which is exactly the QF-LRA
+//! fragment implemented here.
+//!
+//! # Architecture
+//!
+//! - [`LinExpr`] / [`Constraint`] — linear expressions and atomic constraints,
+//! - [`Formula`] — Boolean combinations of constraints,
+//! - [`tseitin`] — conversion to CNF over fresh Boolean variables,
+//! - [`sat`] — a CDCL SAT core (watched literals, first-UIP learning, VSIDS),
+//! - [`simplex`] — the general simplex theory solver of Dutertre & de Moura,
+//!   with infinitesimal (δ) handling for strict inequalities and
+//!   infeasibility explanations,
+//! - [`SmtSolver`] — the lazy DPLL(T) loop tying the pieces together,
+//! - [`optimize`] — a simplex-based linear optimiser over conjunctions of
+//!   constraints (used for the LP-only attack-synthesis ablation).
+//!
+//! # Example
+//!
+//! ```
+//! use cps_smt::{Formula, LinExpr, SmtSolver, VarPool};
+//!
+//! let mut vars = VarPool::new();
+//! let x = vars.fresh("x");
+//! let y = vars.fresh("y");
+//!
+//! // x + y <= 1  ∧  x >= 0.6  ∧  (y >= 0.5 ∨ y <= -2)
+//! let f = Formula::and(vec![
+//!     Formula::atom((LinExpr::var(x) + LinExpr::var(y)).le(1.0)),
+//!     Formula::atom(LinExpr::var(x).ge(0.6)),
+//!     Formula::or(vec![
+//!         Formula::atom(LinExpr::var(y).ge(0.5)),
+//!         Formula::atom(LinExpr::var(y).le(-2.0)),
+//!     ]),
+//! ]);
+//!
+//! let mut solver = SmtSolver::new(vars);
+//! solver.assert(f);
+//! let model = solver.check().expect("query solved").expect_sat();
+//! assert!(model.value(x) >= 0.6 - 1e-9);
+//! assert!(model.value(x) + model.value(y) <= 1.0 + 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod constraint;
+mod expr;
+mod formula;
+pub mod optimize;
+pub mod sat;
+pub mod simplex;
+mod solver;
+pub mod tseitin;
+
+pub use constraint::{Constraint, RelOp};
+pub use expr::{LinExpr, VarId, VarPool};
+pub use formula::Formula;
+pub use optimize::{maximize, minimize, OptimizeOutcome};
+pub use solver::{CheckResult, Model, SmtError, SmtSolver, SolverConfig, SolverStats};

@@ -1,0 +1,193 @@
+//! Linear optimisation over conjunctions of constraints.
+//!
+//! The synthesis algorithms mostly need *feasibility* queries with Boolean
+//! structure (handled by [`SmtSolver`](crate::SmtSolver)), but two places
+//! benefit from plain linear programming:
+//!
+//! - the LP-only attack-synthesis ablation (maximise the terminal deviation
+//!   subject to stealthiness encoded conjunctively), and
+//! - greedy sub-problems such as "how large can this residue become under the
+//!   current threshold vector".
+//!
+//! Both are served by [`maximize`] / [`minimize`], thin wrappers around the
+//! bounded-variable simplex in [`simplex`](crate::simplex).
+
+use crate::simplex::{ObjectiveOutcome, Simplex};
+use crate::{Constraint, LinExpr};
+
+/// Outcome of a linear optimisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeOutcome {
+    /// The constraint conjunction is infeasible.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// Optimum found: `(objective value, assignment)` where the assignment is
+    /// indexed by [`VarId::index`](crate::VarId::index).
+    Optimal(f64, Vec<f64>),
+}
+
+impl OptimizeOutcome {
+    /// Returns the optimal value if one was found.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            OptimizeOutcome::Optimal(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the optimal assignment if one was found.
+    pub fn assignment(&self) -> Option<&[f64]> {
+        match self {
+            OptimizeOutcome::Optimal(_, a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Maximises `objective` subject to the conjunction of `constraints` over
+/// `num_vars` problem variables.
+///
+/// # Example
+///
+/// ```
+/// use cps_smt::{maximize, LinExpr, OptimizeOutcome, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.fresh("x");
+/// let constraints = vec![LinExpr::var(x).ge(0.0), LinExpr::var(x).le(3.0)];
+/// match maximize(pool.len(), &constraints, &LinExpr::var(x)) {
+///     OptimizeOutcome::Optimal(value, _) => assert!((value - 3.0).abs() < 1e-9),
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+pub fn maximize(
+    num_vars: usize,
+    constraints: &[Constraint],
+    objective: &LinExpr,
+) -> OptimizeOutcome {
+    let tagged: Vec<(Constraint, usize)> = constraints
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, c)| (c, i))
+        .collect();
+    match Simplex::check_and_maximize(num_vars, &tagged, objective) {
+        Err(_) => OptimizeOutcome::Infeasible,
+        Ok(ObjectiveOutcome::Unbounded) => OptimizeOutcome::Unbounded,
+        Ok(ObjectiveOutcome::Optimal(value, assignment)) => {
+            OptimizeOutcome::Optimal(value, assignment)
+        }
+    }
+}
+
+/// Minimises `objective` subject to the conjunction of `constraints`.
+///
+/// Implemented as maximisation of the negated objective; see [`maximize`].
+pub fn minimize(
+    num_vars: usize,
+    constraints: &[Constraint],
+    objective: &LinExpr,
+) -> OptimizeOutcome {
+    match maximize(num_vars, constraints, &objective.clone().scale(-1.0)) {
+        OptimizeOutcome::Optimal(value, assignment) => {
+            OptimizeOutcome::Optimal(-value, assignment)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarPool;
+
+    #[test]
+    fn maximize_simple_box() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let constraints = vec![
+            LinExpr::var(x).ge(-1.0),
+            LinExpr::var(x).le(2.0),
+            LinExpr::var(y).ge(0.0),
+            LinExpr::var(y).le(1.0),
+        ];
+        let objective = LinExpr::var(x) + LinExpr::var(y) * 3.0;
+        match maximize(pool.len(), &constraints, &objective) {
+            OptimizeOutcome::Optimal(value, assignment) => {
+                assert!((value - 5.0).abs() < 1e-6);
+                assert!((assignment[x.index()] - 2.0).abs() < 1e-6);
+                assert!((assignment[y.index()] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_simple_box() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![LinExpr::var(x).ge(-2.0), LinExpr::var(x).le(5.0)];
+        match minimize(pool.len(), &constraints, &LinExpr::var(x)) {
+            OptimizeOutcome::Optimal(value, _) => assert!((value + 2.0).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_constraints_are_reported() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![LinExpr::var(x).ge(1.0), LinExpr::var(x).le(0.0)];
+        assert_eq!(
+            maximize(pool.len(), &constraints, &LinExpr::var(x)),
+            OptimizeOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_direction_is_reported() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![LinExpr::var(x).ge(0.0)];
+        assert_eq!(
+            maximize(pool.len(), &constraints, &LinExpr::var(x)),
+            OptimizeOutcome::Unbounded
+        );
+        // Minimisation of the same objective is bounded (at zero).
+        match minimize(pool.len(), &constraints, &LinExpr::var(x)) {
+            OptimizeOutcome::Optimal(value, _) => assert!(value.abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coupled_constraints_optimum() {
+        // max x subject to x <= y, y <= 4, x >= 0.
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let constraints = vec![
+            (LinExpr::var(x) - LinExpr::var(y)).le(0.0),
+            LinExpr::var(y).le(4.0),
+            LinExpr::var(x).ge(0.0),
+        ];
+        match maximize(pool.len(), &constraints, &LinExpr::var(x)) {
+            OptimizeOutcome::Optimal(value, _) => assert!((value - 4.0).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors_on_outcome() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let constraints = vec![LinExpr::var(x).le(1.0), LinExpr::var(x).ge(1.0)];
+        let outcome = maximize(pool.len(), &constraints, &LinExpr::var(x));
+        assert_eq!(outcome.value(), Some(1.0));
+        assert_eq!(outcome.assignment().map(|a| a.len()), Some(1));
+        assert_eq!(OptimizeOutcome::Infeasible.value(), None);
+        assert_eq!(OptimizeOutcome::Unbounded.assignment(), None);
+    }
+}

@@ -1,0 +1,680 @@
+//! A CDCL SAT core used as the propositional engine of the DPLL(T) loop.
+//!
+//! The solver implements the standard ingredients — two-watched-literal
+//! propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+//! activity-based decisions and phase saving — in a deliberately compact form.
+//! It is driven externally by [`SmtSolver`](crate::SmtSolver), which
+//! interleaves theory checks between propositional decisions, so the public
+//! surface exposes the individual steps (propagate / decide / conflict
+//! handling) rather than a single monolithic `solve`.
+
+use std::fmt;
+
+/// A propositional literal: a Boolean variable together with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity.
+    pub fn new(var: usize, positive: bool) -> Self {
+        Lit((var as u32) << 1 | u32::from(!positive))
+    }
+
+    /// The variable index of the literal.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// `true` for a positive (non-negated) literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The literal with the opposite polarity.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists (`2·var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "b{}", self.var())
+        } else {
+            write!(f, "¬b{}", self.var())
+        }
+    }
+}
+
+/// Truth value of a literal under the current partial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitValue {
+    /// The literal evaluates to true.
+    True,
+    /// The literal evaluates to false.
+    False,
+    /// The literal's variable is unassigned.
+    Unassigned,
+}
+
+/// Outcome of adding a clause to the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddClauseResult {
+    /// The clause was stored (or was already satisfied at level zero).
+    Ok,
+    /// The clause is empty or falsified at decision level zero: the instance
+    /// is unsatisfiable.
+    Unsat,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// # Example
+///
+/// ```
+/// use cps_smt::sat::{Lit, SatSolver};
+///
+/// let mut solver = SatSolver::new(2);
+/// // (b0 ∨ b1) ∧ (¬b0 ∨ b1) ∧ (¬b1 ∨ b0) ∧ (¬b0 ∨ ¬b1) is unsatisfiable.
+/// solver.add_clause(vec![Lit::new(0, true), Lit::new(1, true)]);
+/// solver.add_clause(vec![Lit::new(0, false), Lit::new(1, true)]);
+/// solver.add_clause(vec![Lit::new(1, false), Lit::new(0, true)]);
+/// solver.add_clause(vec![Lit::new(0, false), Lit::new(1, false)]);
+/// assert!(!solver.solve());
+/// ```
+#[derive(Debug)]
+pub struct SatSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<usize>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    propagate_head: usize,
+    activity: Vec<f64>,
+    activity_inc: f64,
+    phase: Vec<bool>,
+    unsat: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+impl SatSolver {
+    /// Creates a solver over `num_vars` Boolean variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assign: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            propagate_head: 0,
+            activity: vec![0.0; num_vars],
+            activity_inc: 1.0,
+            phase: vec![false; num_vars],
+            unsat: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Number of Boolean variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of literal propagations performed so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Current decision level.
+    pub fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Returns `true` once the clause database is known to be unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Truth value of a literal.
+    pub fn value(&self, lit: Lit) -> LitValue {
+        match self.assign[lit.var()] {
+            None => LitValue::Unassigned,
+            Some(v) => {
+                if v == lit.is_positive() {
+                    LitValue::True
+                } else {
+                    LitValue::False
+                }
+            }
+        }
+    }
+
+    /// Boolean value of a variable, if assigned.
+    pub fn var_value(&self, var: usize) -> Option<bool> {
+        self.assign[var]
+    }
+
+    /// Returns `true` when every variable is assigned.
+    pub fn all_assigned(&self) -> bool {
+        self.trail.len() == self.num_vars
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are ignored.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> AddClauseResult {
+        if self.unsat {
+            return AddClauseResult::Unsat;
+        }
+        debug_assert_eq!(
+            self.decision_level(),
+            0,
+            "problem clauses must be added at decision level zero"
+        );
+        lits.sort_by_key(|l| l.index());
+        lits.dedup();
+        // Tautology check: a literal and its negation in the same clause.
+        for pair in lits.windows(2) {
+            if pair[0].var() == pair[1].var() {
+                return AddClauseResult::Ok;
+            }
+        }
+        // Drop literals already false at level zero; short-circuit on true ones.
+        let mut reduced = Vec::with_capacity(lits.len());
+        for lit in lits {
+            match self.value(lit) {
+                LitValue::True => return AddClauseResult::Ok,
+                LitValue::False => {}
+                LitValue::Unassigned => reduced.push(lit),
+            }
+        }
+        match reduced.len() {
+            0 => {
+                self.unsat = true;
+                AddClauseResult::Unsat
+            }
+            1 => {
+                self.enqueue(reduced[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    AddClauseResult::Unsat
+                } else {
+                    AddClauseResult::Ok
+                }
+            }
+            _ => {
+                self.attach_clause(reduced);
+                AddClauseResult::Ok
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[lits[0].index()].push(idx);
+        self.watches[lits[1].index()].push(idx);
+        self.clauses.push(lits);
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert!(self.value(lit) == LitValue::Unassigned);
+        self.assign[lit.var()] = Some(lit.is_positive());
+        self.level[lit.var()] = self.decision_level();
+        self.reason[lit.var()] = reason;
+        self.phase[lit.var()] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Runs unit propagation to a fixpoint. Returns the index of a conflicting
+    /// clause, if any.
+    pub fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            self.propagations += 1;
+            let falsified = lit.negated();
+            let watch_list = std::mem::take(&mut self.watches[falsified.index()]);
+            let mut retained = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            for (pos, &clause_idx) in watch_list.iter().enumerate() {
+                if conflict.is_some() {
+                    retained.extend_from_slice(&watch_list[pos..]);
+                    break;
+                }
+                // Normalise so the falsified literal sits at position 1.
+                let clause_len = self.clauses[clause_idx].len();
+                if self.clauses[clause_idx][0] == falsified {
+                    self.clauses[clause_idx].swap(0, 1);
+                }
+                let first = self.clauses[clause_idx][0];
+                if self.value(first) == LitValue::True {
+                    retained.push(clause_idx);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for k in 2..clause_len {
+                    let candidate = self.clauses[clause_idx][k];
+                    if self.value(candidate) != LitValue::False {
+                        self.clauses[clause_idx].swap(1, k);
+                        self.watches[candidate.index()].push(clause_idx);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // No replacement: the clause is unit or conflicting.
+                retained.push(clause_idx);
+                match self.value(first) {
+                    LitValue::Unassigned => self.enqueue(first, Some(clause_idx)),
+                    LitValue::False => conflict = Some(clause_idx),
+                    LitValue::True => unreachable!("handled above"),
+                }
+            }
+            self.watches[falsified.index()] = retained;
+            if conflict.is_some() {
+                self.propagate_head = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Starts a new decision level and assumes `lit`.
+    pub fn decide(&mut self, lit: Lit) {
+        debug_assert!(self.value(lit) == LitValue::Unassigned);
+        self.decisions += 1;
+        self.trail_lim.push(self.trail.len());
+        self.enqueue(lit, None);
+    }
+
+    /// Picks the next decision literal: the unassigned variable with the
+    /// highest activity, using the saved phase. Returns `None` when all
+    /// variables are assigned.
+    pub fn pick_branch_literal(&self) -> Option<Lit> {
+        let mut best: Option<(usize, f64)> = None;
+        for var in 0..self.num_vars {
+            if self.assign[var].is_none() {
+                let act = self.activity[var];
+                match best {
+                    Some((_, best_act)) if best_act >= act => {}
+                    _ => best = Some((var, act)),
+                }
+            }
+        }
+        best.map(|(var, _)| Lit::new(var, self.phase[var]))
+    }
+
+    /// Backtracks to the given decision level (keeping assignments made at or
+    /// below that level).
+    pub fn backtrack(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let new_len = self.trail_lim[target_level];
+        for lit in self.trail.drain(new_len..) {
+            self.assign[lit.var()] = None;
+            self.reason[lit.var()] = None;
+        }
+        self.trail_lim.truncate(target_level);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn bump_activity(&mut self, var: usize) {
+        self.activity[var] += self.activity_inc;
+        if self.activity[var] > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.activity_inc /= 0.95;
+    }
+
+    /// Analyses a conflict expressed as a set of currently-false literals,
+    /// learns a first-UIP clause, backjumps and asserts the learned literal.
+    ///
+    /// Returns `false` when the conflict proves unsatisfiability (conflict at
+    /// decision level zero).
+    pub fn resolve_conflict_with(&mut self, conflict_lits: &[Lit]) -> bool {
+        self.conflicts += 1;
+        debug_assert!(conflict_lits
+            .iter()
+            .all(|l| self.value(*l) == LitValue::False));
+
+        // The analysis below requires at least one conflict literal at the
+        // current decision level. Theory conflicts may only involve literals
+        // assigned earlier; backtrack to the deepest level they mention first.
+        let max_level = conflict_lits
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+        if max_level == 0 || self.decision_level() == 0 {
+            self.unsat = true;
+            return false;
+        }
+        if max_level < self.decision_level() {
+            self.backtrack(max_level);
+        }
+
+        let current_level = self.decision_level();
+        let mut seen = vec![false; self.num_vars];
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut current_reason: Vec<Lit> = conflict_lits.to_vec();
+        let mut asserting_lit: Option<Lit> = None;
+
+        loop {
+            for &lit in &current_reason {
+                if Some(lit) == asserting_lit.map(Lit::negated) {
+                    continue;
+                }
+                let var = lit.var();
+                if !seen[var] && self.level[var] > 0 {
+                    seen[var] = true;
+                    self.bump_activity(var);
+                    if self.level[var] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(lit);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next seen literal.
+            loop {
+                trail_idx -= 1;
+                if seen[self.trail[trail_idx].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_idx];
+            seen[p.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                asserting_lit = Some(p);
+                break;
+            }
+            let reason_idx = self.reason[p.var()]
+                .expect("non-decision literal at the current level has a reason");
+            current_reason = self.clauses[reason_idx]
+                .iter()
+                .copied()
+                .filter(|l| *l != p)
+                .collect();
+            asserting_lit = Some(p);
+        }
+
+        let asserting = asserting_lit.expect("conflict analysis produces an asserting literal");
+        let asserted = asserting.negated();
+        // Backjump level: highest level among the remaining learned literals.
+        let backjump = learnt
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(asserted);
+        clause.extend(learnt);
+
+        self.decay_activities();
+        self.backtrack(backjump);
+
+        if clause.len() == 1 {
+            self.enqueue(asserted, None);
+        } else {
+            // Watch the asserted literal and one literal from the backjump level.
+            let mut second = 1;
+            for (i, lit) in clause.iter().enumerate().skip(1) {
+                if self.level[lit.var()] == backjump {
+                    second = i;
+                    break;
+                }
+            }
+            clause.swap(1, second);
+            let idx = self.attach_clause(clause);
+            self.enqueue(asserted, Some(idx));
+        }
+        true
+    }
+
+    /// Resolves a conflict identified by a stored clause index.
+    ///
+    /// Returns `false` when the instance is proved unsatisfiable.
+    pub fn resolve_conflict(&mut self, clause_idx: usize) -> bool {
+        let lits = self.clauses[clause_idx].clone();
+        self.resolve_conflict_with(&lits)
+    }
+
+    /// Adds a clause learned outside the SAT core (e.g. from a theory
+    /// conflict). The clause may mention assigned literals at any level; the
+    /// solver backtracks far enough to integrate it, then propagates.
+    ///
+    /// Returns `false` when the instance becomes unsatisfiable.
+    pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> bool {
+        if self.unsat {
+            return false;
+        }
+        if lits.is_empty() {
+            self.unsat = true;
+            return false;
+        }
+        // If every literal is false the clause is conflicting: run conflict
+        // analysis on it directly, which also learns and backjumps.
+        let all_false = lits.iter().all(|l| self.value(*l) == LitValue::False);
+        if all_false {
+            return self.resolve_conflict_with(&lits);
+        }
+        // Otherwise integrate it as a regular clause: backtrack to level zero
+        // is not required, but we must not attach watches to falsified
+        // literals without care. The simplest correct integration is to
+        // backtrack to level 0 and re-add.
+        self.backtrack(0);
+        self.add_clause(lits) != AddClauseResult::Unsat
+    }
+
+    /// Self-contained propositional solve loop (no theory). Used by unit tests
+    /// and as a fallback; returns `true` when satisfiable.
+    pub fn solve(&mut self) -> bool {
+        if self.unsat {
+            return false;
+        }
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if !self.resolve_conflict(conflict) {
+                    return false;
+                }
+                continue;
+            }
+            match self.pick_branch_literal() {
+                None => return true,
+                Some(lit) => self.decide(lit),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, positive: bool) -> Lit {
+        Lit::new(var, positive)
+    }
+
+    #[test]
+    fn literal_encoding_round_trip() {
+        let l = lit(7, true);
+        assert_eq!(l.var(), 7);
+        assert!(l.is_positive());
+        assert!(!l.negated().is_positive());
+        assert_eq!(l.negated().negated(), l);
+        assert_eq!(l.index(), 14);
+        assert_eq!(l.negated().index(), 15);
+    }
+
+    #[test]
+    fn empty_problem_is_sat() {
+        let mut solver = SatSolver::new(3);
+        assert!(solver.solve());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![lit(0, true)]);
+        solver.add_clause(vec![lit(0, false), lit(1, true)]);
+        assert!(solver.solve());
+        assert_eq!(solver.var_value(0), Some(true));
+        assert_eq!(solver.var_value(1), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![lit(0, true)]);
+        let result = solver.add_clause(vec![lit(0, false)]);
+        assert_eq!(result, AddClauseResult::Unsat);
+        assert!(!solver.solve());
+    }
+
+    #[test]
+    fn simple_unsat_instance() {
+        // All four clauses over two variables: unsatisfiable.
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![lit(0, true), lit(1, true)]);
+        solver.add_clause(vec![lit(0, true), lit(1, false)]);
+        solver.add_clause(vec![lit(0, false), lit(1, true)]);
+        solver.add_clause(vec![lit(0, false), lit(1, false)]);
+        assert!(!solver.solve());
+    }
+
+    #[test]
+    fn satisfiable_three_sat_instance() {
+        let mut solver = SatSolver::new(4);
+        solver.add_clause(vec![lit(0, true), lit(1, true), lit(2, false)]);
+        solver.add_clause(vec![lit(1, false), lit(2, true), lit(3, true)]);
+        solver.add_clause(vec![lit(0, false), lit(3, false), lit(2, true)]);
+        solver.add_clause(vec![lit(0, false), lit(1, false), lit(3, true)]);
+        assert!(solver.solve());
+        // Verify the model satisfies every clause.
+        for clause in &solver.clauses {
+            assert!(clause.iter().any(|l| solver.value(*l) == LitValue::True));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables p_{i,j} = pigeon i in hole j, i in 0..3, j in 0..2.
+        let var = |i: usize, j: usize| i * 2 + j;
+        let mut solver = SatSolver::new(6);
+        // Every pigeon is in some hole.
+        for i in 0..3 {
+            solver.add_clause(vec![lit(var(i, 0), true), lit(var(i, 1), true)]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    solver.add_clause(vec![lit(var(i1, j), false), lit(var(i2, j), false)]);
+                }
+            }
+        }
+        assert!(!solver.solve());
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let mut solver = SatSolver::new(1);
+        assert_eq!(
+            solver.add_clause(vec![lit(0, true), lit(0, false)]),
+            AddClauseResult::Ok
+        );
+        assert!(solver.solve());
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![lit(0, true), lit(0, true), lit(1, false)]);
+        assert!(solver.solve());
+    }
+
+    #[test]
+    fn externally_learned_clause_is_respected() {
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![lit(0, true), lit(1, true)]);
+        assert!(solver.solve());
+        // Forbid the found model repeatedly; the instance stays satisfiable
+        // until all three satisfying assignments are excluded.
+        let mut excluded = 0;
+        loop {
+            let model: Vec<Lit> = (0..2)
+                .map(|v| Lit::new(v, solver.var_value(v).unwrap_or(false)))
+                .collect();
+            let blocking: Vec<Lit> = model.iter().map(|l| l.negated()).collect();
+            if !solver.add_learned_clause(blocking) {
+                break;
+            }
+            if !solver.solve() {
+                break;
+            }
+            excluded += 1;
+            assert!(excluded <= 3, "more models than possible");
+        }
+        assert_eq!(excluded, 2, "three satisfying assignments expected");
+    }
+
+    #[test]
+    fn statistics_are_tracked() {
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+        solver.add_clause(vec![lit(0, false), lit(1, false)]);
+        assert!(solver.solve());
+        assert!(solver.decisions() > 0);
+        assert!(solver.propagations() > 0);
+    }
+
+    #[test]
+    fn backtrack_restores_unassigned_state() {
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![lit(0, true), lit(1, true)]);
+        solver.decide(lit(0, false));
+        assert!(solver.propagate().is_none());
+        assert_eq!(solver.var_value(1), Some(true));
+        solver.backtrack(0);
+        assert_eq!(solver.var_value(0), None);
+        assert_eq!(solver.var_value(1), None);
+    }
+}

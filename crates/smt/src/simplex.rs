@@ -1,0 +1,919 @@
+//! General simplex theory solver for conjunctions of linear constraints.
+//!
+//! This module implements the *general simplex* algorithm of Dutertre and
+//! de Moura ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV 2006) in the
+//! non-incremental form used by the lazy DPLL(T) loop in
+//! [`SmtSolver`](crate::SmtSolver): a fresh tableau is built per theory check
+//! from the currently asserted atoms. Strict inequalities are handled with
+//! symbolic infinitesimals ([`Delta`]), and infeasibility produces an
+//! *explanation* — the subset of asserted constraints participating in the
+//! conflicting bound configuration — which becomes a learned clause.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{Constraint, LinExpr, RelOp};
+
+/// Comparison tolerance on the real part of a [`Delta`] value.
+const REAL_EPS: f64 = 1e-11;
+
+/// A value of the form `real + delta·ε` where `ε` is an arbitrarily small
+/// positive infinitesimal, used to represent strict bounds exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delta {
+    /// Real part.
+    pub real: f64,
+    /// Coefficient of the infinitesimal ε.
+    pub delta: f64,
+}
+
+impl Delta {
+    /// A purely real value.
+    pub fn real(value: f64) -> Self {
+        Self {
+            real: value,
+            delta: 0.0,
+        }
+    }
+
+    /// A value with an explicit infinitesimal component.
+    pub fn with_delta(real: f64, delta: f64) -> Self {
+        Self { real, delta }
+    }
+
+    /// Addition.
+    pub fn add(self, other: Delta) -> Delta {
+        Delta {
+            real: self.real + other.real,
+            delta: self.delta + other.delta,
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(self, other: Delta) -> Delta {
+        Delta {
+            real: self.real - other.real,
+            delta: self.delta - other.delta,
+        }
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, factor: f64) -> Delta {
+        Delta {
+            real: self.real * factor,
+            delta: self.delta * factor,
+        }
+    }
+
+    /// Lexicographic comparison (real part first, then infinitesimal part),
+    /// with a small tolerance on the real part.
+    pub fn cmp_delta(&self, other: &Delta) -> Ordering {
+        if (self.real - other.real).abs() <= REAL_EPS {
+            if (self.delta - other.delta).abs() <= REAL_EPS {
+                Ordering::Equal
+            } else if self.delta < other.delta {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        } else if self.real < other.real {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    }
+
+    /// `self < other` in the δ-ordering.
+    pub fn lt(&self, other: &Delta) -> bool {
+        self.cmp_delta(other) == Ordering::Less
+    }
+
+    /// `self > other` in the δ-ordering.
+    pub fn gt(&self, other: &Delta) -> bool {
+        self.cmp_delta(other) == Ordering::Greater
+    }
+
+    /// Concretises the value by substituting `epsilon` for ε.
+    pub fn concretize(&self, epsilon: f64) -> f64 {
+        self.real + self.delta * epsilon
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta == 0.0 {
+            write!(f, "{}", self.real)
+        } else {
+            write!(f, "{} + {}ε", self.real, self.delta)
+        }
+    }
+}
+
+/// Result of a feasibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexResult {
+    /// The conjunction is satisfiable; the payload is a satisfying assignment
+    /// for the *original* problem variables (concretised to `f64`).
+    Feasible(Vec<f64>),
+    /// The conjunction is unsatisfiable; the payload lists the tags of the
+    /// constraints forming the conflicting configuration.
+    Infeasible(Vec<usize>),
+}
+
+impl SimplexResult {
+    /// Returns `true` for [`SimplexResult::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, SimplexResult::Feasible(_))
+    }
+}
+
+/// Outcome of an optimisation run on a feasible tableau.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveOutcome {
+    /// Optimum attained; payload is `(optimal value, assignment)`.
+    Optimal(f64, Vec<f64>),
+    /// The objective is unbounded in the direction of optimisation.
+    Unbounded,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    value: Delta,
+    /// Tag of the constraint that installed this bound.
+    reason: usize,
+}
+
+/// Feasibility and optimisation engine for conjunctions of linear constraints.
+///
+/// # Example
+///
+/// ```
+/// use cps_smt::simplex::Simplex;
+/// use cps_smt::{LinExpr, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.fresh("x");
+/// let y = pool.fresh("y");
+/// let constraints = vec![
+///     ((LinExpr::var(x) + LinExpr::var(y)).le(2.0), 0),
+///     (LinExpr::var(x).ge(1.5), 1),
+///     (LinExpr::var(y).ge(1.0), 2),
+/// ];
+/// let result = Simplex::check(pool.len(), &constraints);
+/// assert!(!result.is_feasible()); // 1.5 + 1.0 > 2
+/// ```
+#[derive(Debug)]
+pub struct Simplex {
+    /// Total number of variables (problem variables first, then slacks).
+    num_vars: usize,
+    /// Number of original problem variables.
+    num_problem_vars: usize,
+    /// `rows[r]` is the tableau row of the basic variable `row_owner[r]`,
+    /// expressing it as a linear combination of all variables (only nonbasic
+    /// entries are meaningful).
+    rows: Vec<Vec<f64>>,
+    row_owner: Vec<usize>,
+    /// `basic_row[v] = Some(r)` iff variable `v` is basic and owns row `r`.
+    basic_row: Vec<Option<usize>>,
+    lower: Vec<Option<Bound>>,
+    upper: Vec<Option<Bound>>,
+    assignment: Vec<Delta>,
+}
+
+impl Simplex {
+    /// Checks satisfiability of the conjunction of `constraints` over
+    /// `num_problem_vars` problem variables. Each constraint carries an opaque
+    /// `tag` that is echoed back in infeasibility explanations.
+    pub fn check(num_problem_vars: usize, constraints: &[(Constraint, usize)]) -> SimplexResult {
+        let mut simplex = Simplex::build(num_problem_vars, constraints);
+        match simplex.assert_all(constraints) {
+            Err(explanation) => SimplexResult::Infeasible(explanation),
+            Ok(()) => match simplex.solve() {
+                Err(explanation) => SimplexResult::Infeasible(explanation),
+                Ok(()) => SimplexResult::Feasible(simplex.concrete_assignment()),
+            },
+        }
+    }
+
+    /// Checks satisfiability and, if feasible, maximises `objective` over the
+    /// constraint set. Minimisation can be obtained by negating the objective.
+    pub fn check_and_maximize(
+        num_problem_vars: usize,
+        constraints: &[(Constraint, usize)],
+        objective: &LinExpr,
+    ) -> Result<ObjectiveOutcome, Vec<usize>> {
+        let mut simplex = Simplex::build(num_problem_vars, constraints);
+        simplex.assert_all(constraints)?;
+        simplex.solve()?;
+        Ok(simplex.maximize(objective))
+    }
+
+    fn build(num_problem_vars: usize, constraints: &[(Constraint, usize)]) -> Simplex {
+        // One slack variable per constraint whose expression is not a single
+        // problem variable; multi-occurrences of the same expression could be
+        // shared but the extra slacks are harmless for correctness.
+        let mut num_vars = num_problem_vars;
+        let mut rows = Vec::new();
+        let mut row_owner = Vec::new();
+        for (constraint, _) in constraints {
+            if Self::single_var(constraint.expr()).is_none() {
+                let slack = num_vars;
+                num_vars += 1;
+                row_owner.push(slack);
+                rows.push(Vec::new());
+            }
+        }
+        // Materialise dense rows now that the total variable count is known.
+        let mut row_idx = 0;
+        for (constraint, _) in constraints {
+            if Self::single_var(constraint.expr()).is_none() {
+                let mut row = vec![0.0; num_vars];
+                for (var, coeff) in constraint.expr().terms() {
+                    row[var.index()] = coeff;
+                }
+                rows[row_idx] = row;
+                row_idx += 1;
+            }
+        }
+        let mut basic_row = vec![None; num_vars];
+        for (r, owner) in row_owner.iter().enumerate() {
+            basic_row[*owner] = Some(r);
+        }
+        Simplex {
+            num_vars,
+            num_problem_vars,
+            rows,
+            row_owner,
+            basic_row,
+            lower: vec![None; num_vars],
+            upper: vec![None; num_vars],
+            assignment: vec![Delta::real(0.0); num_vars],
+        }
+    }
+
+    /// If the expression is exactly `c · x` for a single variable, returns
+    /// `(x, c)`.
+    fn single_var(expr: &LinExpr) -> Option<(usize, f64)> {
+        if expr.num_terms() == 1 {
+            let (var, coeff) = expr.terms().next().expect("one term present");
+            Some((var.index(), coeff))
+        } else {
+            None
+        }
+    }
+
+    fn assert_all(&mut self, constraints: &[(Constraint, usize)]) -> Result<(), Vec<usize>> {
+        let mut slack_idx = 0;
+        let mut slack_of_constraint = Vec::with_capacity(constraints.len());
+        for (constraint, _) in constraints {
+            if Self::single_var(constraint.expr()).is_none() {
+                slack_of_constraint.push(Some(self.row_owner[slack_idx]));
+                slack_idx += 1;
+            } else {
+                slack_of_constraint.push(None);
+            }
+        }
+        // Initialise slack assignments from the (all-zero) problem variables.
+        for r in 0..self.rows.len() {
+            let owner = self.row_owner[r];
+            self.assignment[owner] = self.row_value(r);
+        }
+        for (i, (constraint, tag)) in constraints.iter().enumerate() {
+            let (var, scale) = match slack_of_constraint[i] {
+                Some(slack) => (slack, 1.0),
+                None => Self::single_var(constraint.expr()).expect("single variable constraint"),
+            };
+            // `scale · var ⋈ bound` — dividing by a negative coefficient flips
+            // the comparison direction.
+            let bound = constraint.bound() / scale;
+            let flip = scale < 0.0;
+            let op = constraint.op();
+            let (is_upper, value) = match (op, flip) {
+                (RelOp::Le, false) | (RelOp::Ge, true) => (true, Delta::real(bound)),
+                (RelOp::Lt, false) | (RelOp::Gt, true) => (true, Delta::with_delta(bound, -1.0)),
+                (RelOp::Ge, false) | (RelOp::Le, true) => (false, Delta::real(bound)),
+                (RelOp::Gt, false) | (RelOp::Lt, true) => (false, Delta::with_delta(bound, 1.0)),
+                (RelOp::Eq, _) => {
+                    self.assert_upper(var, Delta::real(bound), *tag)?;
+                    self.assert_lower(var, Delta::real(bound), *tag)?;
+                    continue;
+                }
+            };
+            if is_upper {
+                self.assert_upper(var, value, *tag)?;
+            } else {
+                self.assert_lower(var, value, *tag)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn row_value(&self, row: usize) -> Delta {
+        let mut value = Delta::real(0.0);
+        for (v, coeff) in self.rows[row].iter().enumerate() {
+            if *coeff != 0.0 && self.basic_row[v].is_none() {
+                value = value.add(self.assignment[v].scale(*coeff));
+            }
+        }
+        value
+    }
+
+    fn assert_upper(&mut self, var: usize, value: Delta, reason: usize) -> Result<(), Vec<usize>> {
+        if let Some(lower) = self.lower[var] {
+            if value.lt(&lower.value) {
+                return Err(vec![reason, lower.reason]);
+            }
+        }
+        let tighter = match self.upper[var] {
+            Some(existing) => value.lt(&existing.value),
+            None => true,
+        };
+        if tighter {
+            self.upper[var] = Some(Bound { value, reason });
+            if self.basic_row[var].is_none() && self.assignment[var].gt(&value) {
+                self.update_nonbasic(var, value);
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_lower(&mut self, var: usize, value: Delta, reason: usize) -> Result<(), Vec<usize>> {
+        if let Some(upper) = self.upper[var] {
+            if value.gt(&upper.value) {
+                return Err(vec![reason, upper.reason]);
+            }
+        }
+        let tighter = match self.lower[var] {
+            Some(existing) => value.gt(&existing.value),
+            None => true,
+        };
+        if tighter {
+            self.lower[var] = Some(Bound { value, reason });
+            if self.basic_row[var].is_none() && self.assignment[var].lt(&value) {
+                self.update_nonbasic(var, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a nonbasic variable to `value` and propagates the change to the
+    /// basic variables.
+    fn update_nonbasic(&mut self, var: usize, value: Delta) {
+        let diff = value.sub(self.assignment[var]);
+        for r in 0..self.rows.len() {
+            let coeff = self.rows[r][var];
+            if coeff != 0.0 {
+                let owner = self.row_owner[r];
+                self.assignment[owner] = self.assignment[owner].add(diff.scale(coeff));
+            }
+        }
+        self.assignment[var] = value;
+    }
+
+    /// Main simplex loop: repair basic variables that violate their bounds.
+    ///
+    /// Pivot selection uses a largest-violation heuristic for speed and falls
+    /// back to Bland's rule (smallest index) after a fixed number of pivots to
+    /// guarantee termination despite degeneracy.
+    fn solve(&mut self) -> Result<(), Vec<usize>> {
+        let bland_switch = 50 * (self.num_vars + 1);
+        let mut pivots = 0usize;
+        loop {
+            let use_bland = pivots >= bland_switch;
+            pivots += 1;
+            let mut violating: Option<(usize, bool, f64)> = None;
+            for var in 0..self.num_vars {
+                if self.basic_row[var].is_none() {
+                    continue;
+                }
+                let mut candidate: Option<(bool, f64)> = None;
+                if let Some(lower) = self.lower[var] {
+                    if self.assignment[var].lt(&lower.value) {
+                        candidate = Some((true, lower.value.sub(self.assignment[var]).real.abs()));
+                    }
+                }
+                if candidate.is_none() {
+                    if let Some(upper) = self.upper[var] {
+                        if self.assignment[var].gt(&upper.value) {
+                            candidate =
+                                Some((false, self.assignment[var].sub(upper.value).real.abs()));
+                        }
+                    }
+                }
+                if let Some((increase, magnitude)) = candidate {
+                    if use_bland {
+                        violating = Some((var, increase, magnitude));
+                        break;
+                    }
+                    let better = match violating {
+                        Some((_, _, best)) => magnitude > best,
+                        None => true,
+                    };
+                    if better {
+                        violating = Some((var, increase, magnitude));
+                    }
+                }
+            }
+            let Some((basic, needs_increase, _)) = violating else {
+                return Ok(());
+            };
+            let row = self.basic_row[basic].expect("violating variable is basic");
+            let target = if needs_increase {
+                self.lower[basic].expect("lower bound violated").value
+            } else {
+                self.upper[basic].expect("upper bound violated").value
+            };
+
+            // Find a nonbasic variable that can absorb the change (Bland's rule).
+            let mut pivot: Option<usize> = None;
+            for var in 0..self.num_vars {
+                if self.basic_row[var].is_some() {
+                    continue;
+                }
+                let coeff = self.rows[row][var];
+                if coeff == 0.0 {
+                    continue;
+                }
+                let can_help = if needs_increase {
+                    (coeff > 0.0 && self.can_increase(var)) || (coeff < 0.0 && self.can_decrease(var))
+                } else {
+                    (coeff > 0.0 && self.can_decrease(var)) || (coeff < 0.0 && self.can_increase(var))
+                };
+                if can_help {
+                    pivot = Some(var);
+                    break;
+                }
+            }
+            let Some(entering) = pivot else {
+                // No variable can move: the row is a certificate of infeasibility.
+                let mut explanation = Vec::new();
+                if needs_increase {
+                    explanation.push(self.lower[basic].expect("bound present").reason);
+                } else {
+                    explanation.push(self.upper[basic].expect("bound present").reason);
+                }
+                for var in 0..self.num_vars {
+                    if self.basic_row[var].is_some() {
+                        continue;
+                    }
+                    let coeff = self.rows[row][var];
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let blocking = if needs_increase {
+                        if coeff > 0.0 {
+                            self.upper[var]
+                        } else {
+                            self.lower[var]
+                        }
+                    } else if coeff > 0.0 {
+                        self.lower[var]
+                    } else {
+                        self.upper[var]
+                    };
+                    if let Some(bound) = blocking {
+                        explanation.push(bound.reason);
+                    }
+                }
+                explanation.sort_unstable();
+                explanation.dedup();
+                return Err(explanation);
+            };
+            self.pivot_and_update(basic, entering, target);
+        }
+    }
+
+    fn can_increase(&self, var: usize) -> bool {
+        match self.upper[var] {
+            Some(bound) => self.assignment[var].lt(&bound.value),
+            None => true,
+        }
+    }
+
+    fn can_decrease(&self, var: usize) -> bool {
+        match self.lower[var] {
+            Some(bound) => self.assignment[var].gt(&bound.value),
+            None => true,
+        }
+    }
+
+    /// Pivots `basic` (leaving) with `entering` (nonbasic) and sets the
+    /// leaving variable's assignment to `target` (the bound it violated).
+    fn pivot_and_update(&mut self, basic: usize, entering: usize, target: Delta) {
+        let row = self.basic_row[basic].expect("leaving variable is basic");
+        let coeff = self.rows[row][entering];
+        debug_assert!(coeff != 0.0, "pivot coefficient must be non-zero");
+
+        // Assignment update (using the *old* tableau rows): move the entering
+        // variable by θ so that the leaving variable lands exactly on `target`,
+        // and propagate the move to every other basic variable.
+        let theta = target.sub(self.assignment[basic]).scale(1.0 / coeff);
+        self.assignment[basic] = target;
+        self.assignment[entering] = self.assignment[entering].add(theta);
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let c = self.rows[r][entering];
+            if c != 0.0 {
+                let owner = self.row_owner[r];
+                self.assignment[owner] = self.assignment[owner].add(theta.scale(c));
+            }
+        }
+
+        // Rewrite the pivot row to express `entering` in terms of the others:
+        // basic = Σ a_j x_j  ⇒  entering = (basic − Σ_{j≠entering} a_j x_j) / a_entering.
+        let mut new_row = vec![0.0; self.num_vars];
+        for (v, value) in self.rows[row].iter().enumerate() {
+            if v == entering {
+                continue;
+            }
+            new_row[v] = -value / coeff;
+        }
+        new_row[basic] = 1.0 / coeff;
+        self.rows[row] = new_row;
+        self.row_owner[row] = entering;
+        self.basic_row[entering] = Some(row);
+        self.basic_row[basic] = None;
+
+        // Substitute the new definition of `entering` into the other rows.
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][entering];
+            if factor == 0.0 {
+                continue;
+            }
+            let pivot_row = self.rows[row].clone();
+            let current = &mut self.rows[r];
+            current[entering] = 0.0;
+            for (v, value) in pivot_row.iter().enumerate() {
+                if *value != 0.0 {
+                    current[v] += factor * value;
+                }
+            }
+        }
+    }
+
+    /// Maximises `objective` starting from the current feasible assignment.
+    fn maximize(&mut self, objective: &LinExpr) -> ObjectiveOutcome {
+        // Guard against cycling with a generous pivot budget; Bland's rule is
+        // not applied to the optimisation phase, so we stop at the budget and
+        // report the best point found (still feasible, possibly sub-optimal).
+        let max_pivots = 200 * (self.num_vars + 1);
+        for _ in 0..max_pivots {
+            // Express the objective gradient over nonbasic variables.
+            let mut gradient = vec![0.0; self.num_vars];
+            for (var, coeff) in objective.terms() {
+                let v = var.index();
+                match self.basic_row[v] {
+                    None => gradient[v] += coeff,
+                    Some(row) => {
+                        for (w, row_coeff) in self.rows[row].iter().enumerate() {
+                            if *row_coeff != 0.0 && self.basic_row[w].is_none() {
+                                gradient[w] += coeff * row_coeff;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Find an improving nonbasic direction (Bland's rule on index).
+            let mut entering: Option<(usize, bool)> = None;
+            for var in 0..self.num_vars {
+                if self.basic_row[var].is_some() {
+                    continue;
+                }
+                let g = gradient[var];
+                if g > 1e-12 && self.can_increase(var) {
+                    entering = Some((var, true));
+                    break;
+                }
+                if g < -1e-12 && self.can_decrease(var) {
+                    entering = Some((var, false));
+                    break;
+                }
+            }
+            let Some((entering, increase)) = entering else {
+                let assignment = self.concrete_assignment();
+                let value = objective.evaluate(&assignment);
+                return ObjectiveOutcome::Optimal(value, assignment);
+            };
+
+            // Ratio test: how far can the entering variable move before it or
+            // a basic variable hits a bound?
+            let mut limit: Option<(Delta, Option<usize>)> = None; // (max |step|, blocking basic)
+            let own_bound = if increase {
+                self.upper[entering].map(|b| b.value.sub(self.assignment[entering]))
+            } else {
+                self.lower[entering].map(|b| self.assignment[entering].sub(b.value))
+            };
+            if let Some(step) = own_bound {
+                limit = Some((step, None));
+            }
+            for r in 0..self.rows.len() {
+                let coeff = self.rows[r][entering];
+                if coeff == 0.0 {
+                    continue;
+                }
+                let owner = self.row_owner[r];
+                // The owner's value changes by coeff · step · direction.
+                let delta_per_step = if increase { coeff } else { -coeff };
+                let bound = if delta_per_step > 0.0 {
+                    self.upper[owner].map(|b| b.value.sub(self.assignment[owner]))
+                } else {
+                    self.lower[owner].map(|b| self.assignment[owner].sub(b.value))
+                };
+                if let Some(room) = bound {
+                    let step = room.scale(1.0 / delta_per_step.abs());
+                    let tighter = match &limit {
+                        Some((best, _)) => step.lt(best),
+                        None => true,
+                    };
+                    if tighter {
+                        limit = Some((step, Some(owner)));
+                    }
+                }
+            }
+
+            match limit {
+                None => return ObjectiveOutcome::Unbounded,
+                Some((step, blocking)) => {
+                    let signed_step = if increase { step } else { step.scale(-1.0) };
+                    let new_value = self.assignment[entering].add(signed_step);
+                    self.update_nonbasic(entering, new_value);
+                    if let Some(blocking_var) = blocking {
+                        // Pivot so the blocking basic variable leaves the basis;
+                        // its assignment is already exactly on the bound.
+                        let target = self.assignment[blocking_var];
+                        self.pivot_and_update(blocking_var, entering, target);
+                    }
+                }
+            }
+        }
+        let assignment = self.concrete_assignment();
+        let value = objective.evaluate(&assignment);
+        ObjectiveOutcome::Optimal(value, assignment)
+    }
+
+    /// Concretises the δ-assignment of the problem variables into plain `f64`
+    /// values by substituting a positive ε small enough to preserve every
+    /// strict bound.
+    fn concrete_assignment(&self) -> Vec<f64> {
+        let mut epsilon: f64 = 1e-6;
+        for var in 0..self.num_vars {
+            let value = self.assignment[var];
+            if let Some(lower) = self.lower[var] {
+                // value ≥ lower in δ-arithmetic; find ε keeping that true in ℝ.
+                let dr = value.real - lower.value.real;
+                let dd = lower.value.delta - value.delta;
+                if dd > 0.0 && dr > 0.0 {
+                    epsilon = epsilon.min(dr / dd);
+                }
+            }
+            if let Some(upper) = self.upper[var] {
+                let dr = upper.value.real - value.real;
+                let dd = value.delta - upper.value.delta;
+                if dd > 0.0 && dr > 0.0 {
+                    epsilon = epsilon.min(dr / dd);
+                }
+            }
+        }
+        (0..self.num_problem_vars)
+            .map(|v| self.assignment[v].concretize(epsilon))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarPool;
+
+    fn vars(n: usize) -> (VarPool, Vec<crate::VarId>) {
+        let mut pool = VarPool::new();
+        let ids = pool.fresh_block("x", n);
+        (pool, ids)
+    }
+
+    #[test]
+    fn delta_arithmetic_and_ordering() {
+        let a = Delta::real(1.0);
+        let b = Delta::with_delta(1.0, -1.0);
+        assert!(b.lt(&a));
+        assert!(a.gt(&b));
+        assert_eq!(a.add(b), Delta::with_delta(2.0, -1.0));
+        assert_eq!(a.sub(b), Delta::with_delta(0.0, 1.0));
+        assert_eq!(b.scale(2.0), Delta::with_delta(2.0, -2.0));
+        assert!((b.concretize(0.001) - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasible_single_variable_bounds() {
+        let (pool, v) = vars(1);
+        let constraints = vec![
+            (LinExpr::var(v[0]).ge(1.0), 0),
+            (LinExpr::var(v[0]).le(2.0), 1),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                assert!(model[0] >= 1.0 - 1e-9 && model[0] <= 2.0 + 1e-9);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_single_variable_bounds_explained() {
+        let (pool, v) = vars(1);
+        let constraints = vec![
+            (LinExpr::var(v[0]).ge(3.0), 7),
+            (LinExpr::var(v[0]).le(2.0), 9),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Infeasible(mut tags) => {
+                tags.sort_unstable();
+                assert_eq!(tags, vec![7, 9]);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_system_with_rows() {
+        let (pool, v) = vars(2);
+        let constraints = vec![
+            ((LinExpr::var(v[0]) + LinExpr::var(v[1])).le(4.0), 0),
+            ((LinExpr::var(v[0]) - LinExpr::var(v[1])).ge(-1.0), 1),
+            (LinExpr::var(v[0]).ge(0.5), 2),
+            (LinExpr::var(v[1]).ge(1.0), 3),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                for (c, _) in &constraints {
+                    assert!(c.holds(&model), "violated: {c} by {model:?}");
+                }
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_system_with_rows_has_small_explanation() {
+        let (pool, v) = vars(2);
+        let constraints = vec![
+            ((LinExpr::var(v[0]) + LinExpr::var(v[1])).le(2.0), 0),
+            (LinExpr::var(v[0]).ge(1.5), 1),
+            (LinExpr::var(v[1]).ge(1.0), 2),
+            (LinExpr::var(v[0]).le(100.0), 3), // irrelevant
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Infeasible(tags) => {
+                assert!(tags.contains(&0));
+                assert!(!tags.contains(&3), "irrelevant constraint in explanation");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_inequalities_are_respected() {
+        let (pool, v) = vars(1);
+        // x < 1 ∧ x > 0.999999: feasible only strictly between the bounds.
+        let constraints = vec![
+            (LinExpr::var(v[0]).lt(1.0), 0),
+            (LinExpr::var(v[0]).gt(0.999_999), 1),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                assert!(model[0] < 1.0);
+                assert!(model[0] > 0.999_999);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_strict_inequalities_are_infeasible() {
+        let (pool, v) = vars(1);
+        let constraints = vec![
+            (LinExpr::var(v[0]).lt(1.0), 0),
+            (LinExpr::var(v[0]).gt(1.0), 1),
+        ];
+        assert!(!Simplex::check(pool.len(), &constraints).is_feasible());
+        // x <= 1 && x >= 1 is feasible (x = 1).
+        let weak = vec![
+            (LinExpr::var(v[0]).le(1.0), 0),
+            (LinExpr::var(v[0]).ge(1.0), 1),
+        ];
+        assert!(Simplex::check(pool.len(), &weak).is_feasible());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let (pool, v) = vars(2);
+        let constraints = vec![
+            ((LinExpr::var(v[0]) + LinExpr::var(v[1])).eq_to(3.0), 0),
+            ((LinExpr::var(v[0]) - LinExpr::var(v[1])).eq_to(1.0), 1),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                assert!((model[0] - 2.0).abs() < 1e-6);
+                assert!((model[1] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_coefficient_single_variable_constraint() {
+        let (pool, v) = vars(1);
+        // -2x <= -4  ⇔  x >= 2.
+        let constraints = vec![
+            (LinExpr::term(v[0], -2.0).le(-4.0), 0),
+            (LinExpr::var(v[0]).le(5.0), 1),
+        ];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => assert!(model[0] >= 2.0 - 1e-9),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximize_bounded_objective() {
+        let (pool, v) = vars(2);
+        let constraints = vec![
+            ((LinExpr::var(v[0]) + LinExpr::var(v[1])).le(4.0), 0),
+            (LinExpr::var(v[0]).ge(0.0), 1),
+            (LinExpr::var(v[1]).ge(0.0), 2),
+            (LinExpr::var(v[0]).le(3.0), 3),
+        ];
+        let objective = LinExpr::var(v[0]) * 2.0 + LinExpr::var(v[1]);
+        match Simplex::check_and_maximize(pool.len(), &constraints, &objective).unwrap() {
+            ObjectiveOutcome::Optimal(value, model) => {
+                // Optimum at x0 = 3, x1 = 1 → objective 7.
+                assert!((value - 7.0).abs() < 1e-6, "value {value}, model {model:?}");
+            }
+            ObjectiveOutcome::Unbounded => panic!("objective should be bounded"),
+        }
+    }
+
+    #[test]
+    fn maximize_detects_unbounded_objective() {
+        let (pool, v) = vars(1);
+        let constraints = vec![(LinExpr::var(v[0]).ge(0.0), 0)];
+        let objective = LinExpr::var(v[0]);
+        match Simplex::check_and_maximize(pool.len(), &constraints, &objective).unwrap() {
+            ObjectiveOutcome::Unbounded => {}
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximize_reports_infeasible_constraints() {
+        let (pool, v) = vars(1);
+        let constraints = vec![
+            (LinExpr::var(v[0]).ge(2.0), 0),
+            (LinExpr::var(v[0]).le(1.0), 1),
+        ];
+        let objective = LinExpr::var(v[0]);
+        assert!(Simplex::check_and_maximize(pool.len(), &constraints, &objective).is_err());
+    }
+
+    #[test]
+    fn larger_chain_of_constraints_is_feasible() {
+        // x_{k+1} = 0.9 x_k + u_k encoded as equalities, with bounded u and a
+        // reachability-style requirement on the final state.
+        let mut pool = VarPool::new();
+        let xs = pool.fresh_block("x", 6);
+        let us = pool.fresh_block("u", 5);
+        let mut constraints = Vec::new();
+        let mut tag = 0;
+        constraints.push((LinExpr::var(xs[0]).eq_to(0.0), tag));
+        for k in 0..5 {
+            tag += 1;
+            let expr = LinExpr::var(xs[k + 1]) - LinExpr::term(xs[k], 0.9) - LinExpr::var(us[k]);
+            constraints.push((expr.eq_to(0.0), tag));
+            tag += 1;
+            constraints.push((LinExpr::var(us[k]).le(1.0), tag));
+            tag += 1;
+            constraints.push((LinExpr::var(us[k]).ge(-1.0), tag));
+        }
+        tag += 1;
+        constraints.push((LinExpr::var(xs[5]).ge(3.0), tag));
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                for (c, _) in &constraints {
+                    assert!(c.holds(&model), "violated {c}");
+                }
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+        // Requiring the final state to exceed the reachable maximum (≈ 4.1)
+        // makes the system infeasible.
+        let mut impossible = constraints.clone();
+        impossible.push((LinExpr::var(xs[5]).ge(10.0), tag + 1));
+        assert!(!Simplex::check(pool.len(), &impossible).is_feasible());
+    }
+}

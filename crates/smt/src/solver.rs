@@ -1,0 +1,482 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::sat::{Lit, SatSolver};
+use crate::simplex::{Simplex, SimplexResult};
+use crate::tseitin::CnfBuilder;
+use crate::{Constraint, Formula, VarId, VarPool};
+
+/// Configuration of the DPLL(T) search loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Maximum number of propositional + theory conflicts before the solver
+    /// gives up with [`SmtError::BudgetExhausted`]. This mirrors the per-query
+    /// timeout the paper applies to each Z3 call.
+    pub max_conflicts: u64,
+    /// If non-zero, a theory consistency check also runs on the partial
+    /// assignment every `partial_check_interval` decisions (in addition to the
+    /// mandatory check at full assignments). Early checks prune the search at
+    /// the cost of more simplex runs.
+    pub partial_check_interval: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            max_conflicts: 2_000_000,
+            partial_check_interval: 32,
+        }
+    }
+}
+
+/// Statistics gathered during a [`SmtSolver::check`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Propositional decisions made.
+    pub decisions: u64,
+    /// Propositional conflicts resolved.
+    pub conflicts: u64,
+    /// Theory (simplex) feasibility checks performed.
+    pub theory_checks: u64,
+    /// Theory conflicts that produced learned clauses.
+    pub theory_conflicts: u64,
+}
+
+/// Errors returned by [`SmtSolver::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmtError {
+    /// The conflict budget configured in [`SolverConfig`] was exhausted before
+    /// the query was decided.
+    BudgetExhausted,
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtError::BudgetExhausted => write!(f, "solver conflict budget exhausted"),
+        }
+    }
+}
+
+impl Error for SmtError {}
+
+/// A satisfying assignment for the real-valued variables of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    values: Vec<f64>,
+}
+
+impl Model {
+    /// Value assigned to `var` (variables never mentioned in the assertions
+    /// default to zero).
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values.get(var.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Dense slice of all variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckResult {
+    /// The assertions are satisfiable; a model is provided.
+    Sat(Model),
+    /// The assertions are unsatisfiable.
+    Unsat,
+}
+
+impl CheckResult {
+    /// Returns `true` for [`CheckResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+
+    /// Extracts the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is [`CheckResult::Unsat`].
+    pub fn expect_sat(self) -> Model {
+        match self {
+            CheckResult::Sat(model) => model,
+            CheckResult::Unsat => panic!("expected a satisfiable result"),
+        }
+    }
+
+    /// Returns the model if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            CheckResult::Sat(model) => Some(model),
+            CheckResult::Unsat => None,
+        }
+    }
+}
+
+/// Lazy DPLL(T) solver for quantifier-free linear real arithmetic.
+///
+/// Assertions are accumulated with [`SmtSolver::assert`] and the conjunction
+/// of all assertions is decided by [`SmtSolver::check`]. The solver is a
+/// drop-in substitute for the Z3 queries issued by Algorithm 1 of the paper.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct SmtSolver {
+    vars: VarPool,
+    cnf: CnfBuilder,
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl SmtSolver {
+    /// Creates a solver over the variables allocated in `vars`.
+    pub fn new(vars: VarPool) -> Self {
+        Self::with_config(vars, SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit search configuration.
+    pub fn with_config(vars: VarPool, config: SolverConfig) -> Self {
+        Self {
+            vars,
+            cnf: CnfBuilder::new(),
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// The variable pool the solver was created with.
+    pub fn vars(&self) -> &VarPool {
+        &self.vars
+    }
+
+    /// Statistics of the most recent [`SmtSolver::check`] call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds an assertion to the conjunction to be checked.
+    pub fn assert(&mut self, formula: Formula) {
+        self.cnf.assert_formula(&formula);
+    }
+
+    /// Decides satisfiability of the conjunction of all assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmtError::BudgetExhausted`] when the configured conflict
+    /// budget is spent before the query is decided.
+    pub fn check(&mut self) -> Result<CheckResult, SmtError> {
+        self.stats = SolverStats::default();
+        let mut sat = SatSolver::new(self.cnf.num_bool_vars());
+        for clause in self.cnf.clauses() {
+            sat.add_clause(clause.clone());
+        }
+        if sat.is_unsat() {
+            return Ok(CheckResult::Unsat);
+        }
+        // A query with no theory atoms at all (pure constants) is decided by
+        // the SAT core alone.
+        if self.cnf.num_atoms() == 0 {
+            return Ok(if sat.solve() {
+                CheckResult::Sat(Model {
+                    values: vec![0.0; self.vars.len()],
+                })
+            } else {
+                CheckResult::Unsat
+            });
+        }
+
+        let mut decisions_since_check: u64 = 0;
+        loop {
+            if sat.conflicts() >= self.config.max_conflicts {
+                return Err(SmtError::BudgetExhausted);
+            }
+            if let Some(conflict) = sat.propagate() {
+                self.stats.conflicts += 1;
+                if !sat.resolve_conflict(conflict) {
+                    self.record(&sat);
+                    return Ok(CheckResult::Unsat);
+                }
+                continue;
+            }
+            match sat.pick_branch_literal() {
+                Some(lit) => {
+                    let do_partial = self.config.partial_check_interval > 0
+                        && decisions_since_check >= self.config.partial_check_interval;
+                    if do_partial {
+                        decisions_since_check = 0;
+                        match self.theory_check(&sat) {
+                            TheoryOutcome::Consistent(_) => {}
+                            TheoryOutcome::Conflict(clause) => {
+                                self.stats.theory_conflicts += 1;
+                                if !sat.add_learned_clause(clause) {
+                                    self.record(&sat);
+                                    return Ok(CheckResult::Unsat);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    decisions_since_check += 1;
+                    self.stats.decisions += 1;
+                    sat.decide(lit);
+                }
+                None => {
+                    // Full propositional assignment: the theory has the last word.
+                    match self.theory_check(&sat) {
+                        TheoryOutcome::Consistent(values) => {
+                            self.record(&sat);
+                            return Ok(CheckResult::Sat(Model { values }));
+                        }
+                        TheoryOutcome::Conflict(clause) => {
+                            self.stats.theory_conflicts += 1;
+                            if !sat.add_learned_clause(clause) {
+                                self.record(&sat);
+                                return Ok(CheckResult::Unsat);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, sat: &SatSolver) {
+        self.stats.decisions = sat.decisions();
+        self.stats.conflicts = sat.conflicts();
+    }
+
+    /// Runs a simplex feasibility check on the theory literals currently
+    /// assigned by the SAT core.
+    fn theory_check(&mut self, sat: &SatSolver) -> TheoryOutcome {
+        self.stats.theory_checks += 1;
+        let mut asserted: Vec<(Constraint, usize)> = Vec::new();
+        let mut asserted_lits: Vec<Lit> = Vec::new();
+        for atom_idx in 0..self.cnf.num_atoms() {
+            let bool_var = self.cnf.atom_bool_var(atom_idx);
+            let Some(value) = sat.var_value(bool_var) else {
+                continue;
+            };
+            let atom = &self.cnf.atoms()[atom_idx];
+            let constraint = if value {
+                atom.clone()
+            } else {
+                let mut negated = atom.negate();
+                debug_assert_eq!(
+                    negated.len(),
+                    1,
+                    "equality atoms are split during CNF conversion"
+                );
+                negated.pop().expect("non-empty negation")
+            };
+            let tag = asserted.len();
+            asserted.push((constraint, tag));
+            asserted_lits.push(Lit::new(bool_var, value));
+        }
+        match Simplex::check(self.vars.len(), &asserted) {
+            SimplexResult::Feasible(values) => {
+                let mut padded = values;
+                padded.resize(self.vars.len(), 0.0);
+                TheoryOutcome::Consistent(padded)
+            }
+            SimplexResult::Infeasible(explanation) => {
+                let clause: Vec<Lit> = explanation
+                    .into_iter()
+                    .map(|tag| asserted_lits[tag].negated())
+                    .collect();
+                TheoryOutcome::Conflict(clause)
+            }
+        }
+    }
+}
+
+enum TheoryOutcome {
+    Consistent(Vec<f64>),
+    Conflict(Vec<Lit>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    fn pool2() -> (VarPool, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        (pool, x, y)
+    }
+
+    #[test]
+    fn pure_conjunction_sat_with_model() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom((LinExpr::var(x) + LinExpr::var(y)).le(2.0)));
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        solver.assert(Formula::atom(LinExpr::var(y).ge(0.5)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x) >= 1.0 - 1e-9);
+        assert!(model.value(y) >= 0.5 - 1e-9);
+        assert!(model.value(x) + model.value(y) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn pure_conjunction_unsat() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom((LinExpr::var(x) + LinExpr::var(y)).le(1.0)));
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        solver.assert(Formula::atom(LinExpr::var(y).ge(0.5)));
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_requires_theory_reasoning() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        // x >= 5 ∧ (x <= 1 ∨ y >= 3): the first disjunct is theory-infeasible,
+        // so the solver must pick the second.
+        solver.assert(Formula::atom(LinExpr::var(x).ge(5.0)));
+        solver.assert(Formula::or(vec![
+            Formula::atom(LinExpr::var(x).le(1.0)),
+            Formula::atom(LinExpr::var(y).ge(3.0)),
+        ]));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x) >= 5.0 - 1e-9);
+        assert!(model.value(y) >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn negated_atoms_are_handled() {
+        let (pool, x, _) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        // ¬(x <= 1) ∧ x <= 3  ⇒  1 < x <= 3.
+        solver.assert(Formula::not(Formula::atom(LinExpr::var(x).le(1.0))));
+        solver.assert(Formula::atom(LinExpr::var(x).le(3.0)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x) > 1.0);
+        assert!(model.value(x) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn strict_inequality_conflict_is_unsat() {
+        let (pool, x, _) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(x).lt(1.0)));
+        solver.assert(Formula::atom(LinExpr::var(x).gt(1.0)));
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn equality_atoms_work_in_both_polarities() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom((LinExpr::var(x) + LinExpr::var(y)).eq_to(4.0)));
+        solver.assert(Formula::atom((LinExpr::var(x) - LinExpr::var(y)).eq_to(2.0)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!((model.value(x) - 3.0).abs() < 1e-6);
+        assert!((model.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negated_equality_is_a_disjunction() {
+        let (pool, x, _) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::not(Formula::atom(LinExpr::var(x).eq_to(0.0))));
+        solver.assert(Formula::atom(LinExpr::var(x).ge(-1.0)));
+        solver.assert(Formula::atom(LinExpr::var(x).le(1.0)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x).abs() > 1e-9, "x must differ from zero");
+    }
+
+    #[test]
+    fn unsatisfiable_boolean_structure() {
+        let (pool, x, _) = pool2();
+        let a = Formula::atom(LinExpr::var(x).ge(0.0));
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::and(vec![a.clone(), Formula::not(a)]));
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn constants_only_query() {
+        let pool = VarPool::new();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::True);
+        assert!(solver.check().unwrap().is_sat());
+
+        let pool = VarPool::new();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::False);
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain_over_reals() {
+        // (x >= 1 → y >= 2) ∧ (y >= 2 → x + y >= 3.5) ∧ x >= 1, with y <= 10.
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::implies(
+            Formula::atom(LinExpr::var(x).ge(1.0)),
+            Formula::atom(LinExpr::var(y).ge(2.0)),
+        ));
+        solver.assert(Formula::implies(
+            Formula::atom(LinExpr::var(y).ge(2.0)),
+            Formula::atom((LinExpr::var(x) + LinExpr::var(y)).ge(3.5)),
+        ));
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        solver.assert(Formula::atom(LinExpr::var(y).le(10.0)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(y) >= 2.0 - 1e-9);
+        assert!(model.value(x) + model.value(y) >= 3.5 - 1e-9);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::or(vec![
+            Formula::atom(LinExpr::var(x).ge(1.0)),
+            Formula::atom(LinExpr::var(y).ge(1.0)),
+        ]));
+        solver.check().unwrap();
+        assert!(solver.stats().theory_checks >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::with_config(
+            pool,
+            SolverConfig {
+                max_conflicts: 0,
+                partial_check_interval: 0,
+            },
+        );
+        // Force at least one conflict so the zero budget trips.
+        let a = Formula::atom(LinExpr::var(x).ge(1.0));
+        let b = Formula::atom(LinExpr::var(y).ge(1.0));
+        solver.assert(Formula::or(vec![a.clone(), b.clone()]));
+        solver.assert(Formula::or(vec![Formula::not(a), Formula::not(b)]));
+        // With a zero conflict budget the check either finishes without any
+        // conflict or reports exhaustion; both are acceptable, but it must not
+        // loop forever.
+        let _ = solver.check();
+    }
+
+    #[test]
+    fn model_values_default_to_zero_for_unconstrained_vars() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let unused = pool.fresh("unused");
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x) >= 1.0 - 1e-9);
+        assert_eq!(model.value(unused), 0.0);
+        assert_eq!(model.values().len(), 2);
+    }
+}

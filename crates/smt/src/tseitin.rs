@@ -1,0 +1,316 @@
+//! Tseitin conversion of [`Formula`]s into CNF over Boolean variables.
+//!
+//! Theory atoms (linear constraints) are deduplicated and each mapped to a
+//! Boolean variable; auxiliary definition variables are introduced for
+//! sub-formulas. Equality atoms are rewritten as a conjunction of the two
+//! corresponding non-strict inequalities *before* encoding so that the
+//! negation of every remaining theory literal is itself an atomic constraint —
+//! a property the theory-solver integration relies on.
+
+use std::collections::HashMap;
+
+use crate::sat::Lit;
+use crate::{Constraint, Formula, RelOp};
+
+/// Incremental CNF builder shared by all assertions of an
+/// [`SmtSolver`](crate::SmtSolver).
+#[derive(Debug, Default)]
+pub struct CnfBuilder {
+    /// Deduplicated theory atoms.
+    atoms: Vec<Constraint>,
+    /// Boolean variable representing atom `i`.
+    atom_vars: Vec<usize>,
+    /// Reverse map: Boolean variable → atom index.
+    var_atom: HashMap<usize, usize>,
+    atom_index: HashMap<AtomKey, usize>,
+    /// CNF clauses over Boolean variables.
+    clauses: Vec<Vec<Lit>>,
+    /// Total number of Boolean variables allocated (atoms + auxiliaries).
+    num_bool_vars: usize,
+    /// Variable reserved for the constant `true`, allocated lazily.
+    true_var: Option<usize>,
+}
+
+/// Hashable canonical form of a constraint (bit-exact coefficients).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AtomKey {
+    terms: Vec<(u32, u64)>,
+    op: RelOp,
+    bound: u64,
+}
+
+impl AtomKey {
+    fn new(constraint: &Constraint) -> Self {
+        AtomKey {
+            terms: constraint
+                .expr()
+                .terms()
+                .map(|(v, c)| (v.index() as u32, c.to_bits()))
+                .collect(),
+            op: constraint.op(),
+            bound: constraint.bound().to_bits(),
+        }
+    }
+}
+
+impl CnfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deduplicated theory atoms.
+    pub fn atoms(&self) -> &[Constraint] {
+        &self.atoms
+    }
+
+    /// Boolean variable representing atom `atom_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `atom_idx` is out of range.
+    pub fn atom_bool_var(&self, atom_idx: usize) -> usize {
+        self.atom_vars[atom_idx]
+    }
+
+    /// The atom represented by Boolean variable `var`, if any (auxiliary
+    /// Tseitin variables return `None`).
+    pub fn atom_of_var(&self, var: usize) -> Option<usize> {
+        self.var_atom.get(&var).copied()
+    }
+
+    /// The CNF clauses produced so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Total number of Boolean variables referenced by the clauses.
+    pub fn num_bool_vars(&self) -> usize {
+        self.num_bool_vars
+    }
+
+    /// Number of theory atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Encodes `formula` and asserts it (adds a unit clause for its root).
+    pub fn assert_formula(&mut self, formula: &Formula) {
+        let root = self.encode_inner(formula);
+        self.clauses.push(vec![root]);
+    }
+
+    fn fresh_bool_var(&mut self) -> usize {
+        let var = self.num_bool_vars;
+        self.num_bool_vars += 1;
+        var
+    }
+
+    fn atom_var(&mut self, constraint: &Constraint) -> usize {
+        let key = AtomKey::new(constraint);
+        if let Some(&idx) = self.atom_index.get(&key) {
+            return self.atom_vars[idx];
+        }
+        let idx = self.atoms.len();
+        let var = self.fresh_bool_var();
+        self.atoms.push(constraint.clone());
+        self.atom_vars.push(var);
+        self.var_atom.insert(var, idx);
+        self.atom_index.insert(key, idx);
+        var
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        let var = match self.true_var {
+            Some(v) => v,
+            None => {
+                let v = self.fresh_bool_var();
+                self.true_var = Some(v);
+                self.clauses.push(vec![Lit::new(v, true)]);
+                v
+            }
+        };
+        Lit::new(var, true)
+    }
+
+    fn encode_inner(&mut self, formula: &Formula) -> Lit {
+        match formula {
+            Formula::True => self.true_lit(),
+            Formula::False => self.true_lit().negated(),
+            Formula::Atom(c) => {
+                if c.op() == RelOp::Eq {
+                    // x = b  ⇝  (x <= b) ∧ (x >= b)
+                    let le = Constraint::new(c.expr().clone(), RelOp::Le, c.bound());
+                    let ge = Constraint::new(c.expr().clone(), RelOp::Ge, c.bound());
+                    let conj = Formula::And(vec![Formula::Atom(le), Formula::Atom(ge)]);
+                    self.encode_inner(&conj)
+                } else {
+                    Lit::new(self.atom_var(c), true)
+                }
+            }
+            Formula::Not(inner) => self.encode_inner(inner).negated(),
+            Formula::And(parts) => {
+                let part_lits: Vec<Lit> = parts.iter().map(|p| self.encode_inner(p)).collect();
+                let out = Lit::new(self.fresh_bool_var(), true);
+                // out → pᵢ for every part, and (p₁ ∧ … ∧ pₙ) → out.
+                let mut big = Vec::with_capacity(part_lits.len() + 1);
+                for &p in &part_lits {
+                    self.clauses.push(vec![out.negated(), p]);
+                    big.push(p.negated());
+                }
+                big.push(out);
+                self.clauses.push(big);
+                out
+            }
+            Formula::Or(parts) => {
+                let part_lits: Vec<Lit> = parts.iter().map(|p| self.encode_inner(p)).collect();
+                let out = Lit::new(self.fresh_bool_var(), true);
+                // pᵢ → out for every part, and out → (p₁ ∨ … ∨ pₙ).
+                let mut big = Vec::with_capacity(part_lits.len() + 1);
+                for &p in &part_lits {
+                    self.clauses.push(vec![p.negated(), out]);
+                    big.push(p);
+                }
+                big.push(out.negated());
+                self.clauses.push(big);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatSolver;
+    use crate::{LinExpr, VarPool};
+
+    fn atoms_for_test() -> (VarPool, Constraint, Constraint) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let y = pool.fresh("y");
+        let a = LinExpr::var(x).le(1.0);
+        let b = LinExpr::var(y).ge(0.0);
+        (pool, a, b)
+    }
+
+    /// Solves the propositional abstraction, returning the assignment of every
+    /// Boolean variable.
+    fn propositional_sat(builder: &CnfBuilder) -> Option<Vec<Option<bool>>> {
+        let mut solver = SatSolver::new(builder.num_bool_vars());
+        for clause in builder.clauses() {
+            solver.add_clause(clause.clone());
+        }
+        if solver.solve() {
+            Some(
+                (0..builder.num_bool_vars())
+                    .map(|v| solver.var_value(v))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn atoms_are_deduplicated() {
+        let (_, a, b) = atoms_for_test();
+        let f = Formula::and(vec![
+            Formula::atom(a.clone()),
+            Formula::or(vec![Formula::atom(a.clone()), Formula::atom(b.clone())]),
+        ]);
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        assert_eq!(builder.num_atoms(), 2);
+        assert!(builder.num_bool_vars() > builder.num_atoms());
+        assert_eq!(builder.atoms()[0], a);
+        assert_eq!(builder.atoms()[1], b);
+        let var_of_a = builder.atom_bool_var(0);
+        assert_eq!(builder.atom_of_var(var_of_a), Some(0));
+    }
+
+    #[test]
+    fn equality_atom_is_split_into_two_inequalities() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let f = Formula::atom(LinExpr::var(x).eq_to(2.0));
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        assert_eq!(builder.num_atoms(), 2);
+        let ops: Vec<RelOp> = builder.atoms().iter().map(|a| a.op()).collect();
+        assert!(ops.contains(&RelOp::Le));
+        assert!(ops.contains(&RelOp::Ge));
+    }
+
+    #[test]
+    fn conjunction_forces_both_atoms_true() {
+        let (_, a, b) = atoms_for_test();
+        let f = Formula::and(vec![Formula::atom(a), Formula::atom(b)]);
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        let model = propositional_sat(&builder).expect("satisfiable");
+        assert_eq!(model[builder.atom_bool_var(0)], Some(true));
+        assert_eq!(model[builder.atom_bool_var(1)], Some(true));
+    }
+
+    #[test]
+    fn contradiction_is_propositionally_unsat() {
+        let (_, a, _) = atoms_for_test();
+        let f = Formula::and(vec![
+            Formula::atom(a.clone()),
+            Formula::not(Formula::atom(a)),
+        ]);
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        assert!(propositional_sat(&builder).is_none());
+    }
+
+    #[test]
+    fn disjunction_allows_either_atom() {
+        let (_, a, b) = atoms_for_test();
+        let f = Formula::or(vec![Formula::atom(a), Formula::atom(b)]);
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        let model = propositional_sat(&builder).expect("satisfiable");
+        let a_true = model[builder.atom_bool_var(0)] == Some(true);
+        let b_true = model[builder.atom_bool_var(1)] == Some(true);
+        assert!(a_true || b_true);
+    }
+
+    #[test]
+    fn true_and_false_constants_encode_correctly() {
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&Formula::True);
+        assert!(propositional_sat(&builder).is_some());
+
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&Formula::False);
+        assert!(propositional_sat(&builder).is_none());
+    }
+
+    #[test]
+    fn multiple_assertions_accumulate() {
+        let (_, a, b) = atoms_for_test();
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&Formula::atom(a));
+        builder.assert_formula(&Formula::atom(b));
+        let model = propositional_sat(&builder).expect("satisfiable");
+        assert_eq!(model[builder.atom_bool_var(0)], Some(true));
+        assert_eq!(model[builder.atom_bool_var(1)], Some(true));
+    }
+
+    #[test]
+    fn nested_negations_and_implications() {
+        let (_, a, b) = atoms_for_test();
+        // ¬(a ∧ ¬b) asserted together with a forces b.
+        let f = Formula::not(Formula::and(vec![
+            Formula::atom(a.clone()),
+            Formula::not(Formula::atom(b.clone())),
+        ]));
+        let mut builder = CnfBuilder::new();
+        builder.assert_formula(&f);
+        builder.assert_formula(&Formula::atom(a));
+        let model = propositional_sat(&builder).expect("satisfiable");
+        assert_eq!(model[builder.atom_bool_var(1)], Some(true));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests: the SMT solver's verdicts are cross-checked against
+//! direct evaluation of the formula on the produced model, and against a
+//! brute-force enumeration for interval problems with a known answer.
+
+use cps_smt::{Formula, LinExpr, OptimizeOutcome, SmtSolver, VarPool};
+use proptest::prelude::*;
+
+/// Generates a random conjunction/disjunction tree over `num_vars` variables
+/// made of simple bound atoms `±x_i ⋈ c`.
+fn formula_strategy(num_vars: usize) -> impl Strategy<Value = Formula> {
+    let atom = (0..num_vars, -5.0f64..5.0, prop::bool::ANY, prop::bool::ANY).prop_map(
+        move |(var, bound, upper, strict)| {
+            let mut pool = VarPool::new();
+            let ids: Vec<_> = (0..num_vars).map(|i| pool.fresh(format!("x{i}"))).collect();
+            let expr = LinExpr::var(ids[var]);
+            let constraint = match (upper, strict) {
+                (true, false) => expr.le(bound),
+                (true, true) => expr.lt(bound),
+                (false, false) => expr.ge(bound),
+                (false, true) => expr.gt(bound),
+            };
+            Formula::atom(constraint)
+        },
+    );
+    atom.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn fresh_pool(num_vars: usize) -> VarPool {
+    let mut pool = VarPool::new();
+    for i in 0..num_vars {
+        pool.fresh(format!("x{i}"));
+    }
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever the solver answers SAT, the returned model must actually
+    /// satisfy the asserted formula.
+    #[test]
+    fn sat_models_satisfy_the_formula(formula in formula_strategy(3)) {
+        let pool = fresh_pool(3);
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(formula.clone());
+        if let Ok(result) = solver.check() {
+            if let Some(model) = result.model() {
+                prop_assert!(
+                    formula.holds(model.values()),
+                    "model {:?} does not satisfy {formula}",
+                    model.values()
+                );
+            }
+        }
+    }
+
+    /// A formula and its negation can never both be unsatisfiable.
+    #[test]
+    fn formula_or_negation_is_sat(formula in formula_strategy(2)) {
+        let verdict = |f: Formula| {
+            let mut solver = SmtSolver::new(fresh_pool(2));
+            solver.assert(f);
+            solver.check().map(|r| r.is_sat())
+        };
+        let direct = verdict(formula.clone());
+        let negated = verdict(Formula::not(formula));
+        if let (Ok(a), Ok(b)) = (direct, negated) {
+            prop_assert!(a || b, "both a formula and its negation reported unsat");
+        }
+    }
+
+    /// Interval conjunctions have a known feasibility criterion: the largest
+    /// lower bound must not exceed the smallest upper bound.
+    #[test]
+    fn interval_conjunctions_match_closed_form(
+        lowers in prop::collection::vec(-10.0f64..10.0, 1..5),
+        uppers in prop::collection::vec(-10.0f64..10.0, 1..5),
+    ) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("x");
+        let mut solver = SmtSolver::new(pool);
+        for &l in &lowers {
+            solver.assert(Formula::atom(LinExpr::var(x).ge(l)));
+        }
+        for &u in &uppers {
+            solver.assert(Formula::atom(LinExpr::var(x).le(u)));
+        }
+        let max_lower = lowers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_upper = uppers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let expected = max_lower <= min_upper + 1e-9;
+        let got = solver.check().unwrap().is_sat();
+        prop_assert_eq!(got, expected, "lowers {:?} uppers {:?}", lowers, uppers);
+    }
+
+    /// Optimisation over a box returns the analytic optimum of a linear
+    /// objective (the appropriate corner of the box).
+    #[test]
+    fn box_lp_optimum_matches_corner(
+        bounds in prop::collection::vec((-5.0f64..0.0, 0.0f64..5.0), 2..4),
+        coeffs in prop::collection::vec(-3.0f64..3.0, 2..4),
+    ) {
+        let n = bounds.len().min(coeffs.len());
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..n).map(|i| pool.fresh(format!("x{i}"))).collect();
+        let mut constraints = Vec::new();
+        for (i, (lo, hi)) in bounds.iter().take(n).enumerate() {
+            constraints.push(LinExpr::var(vars[i]).ge(*lo));
+            constraints.push(LinExpr::var(vars[i]).le(*hi));
+        }
+        let objective = LinExpr::from_terms(
+            vars.iter().zip(coeffs.iter()).map(|(v, c)| (*v, *c)),
+            0.0,
+        );
+        let expected: f64 = bounds
+            .iter()
+            .take(n)
+            .zip(coeffs.iter())
+            .map(|((lo, hi), c)| if *c >= 0.0 { c * hi } else { c * lo })
+            .sum();
+        match cps_smt::maximize(pool.len(), &constraints, &objective) {
+            OptimizeOutcome::Optimal(value, _) => {
+                prop_assert!((value - expected).abs() < 1e-6,
+                    "expected {expected}, got {value}");
+            }
+            other => prop_assert!(false, "expected optimum, got {:?}", other),
+        }
+    }
+}
+
+/// Deterministic regression: a closed-loop-style chain of equalities with a
+/// reachability query, small enough to verify by hand, exercised through the
+/// full DPLL(T) stack.
+#[test]
+fn reachability_chain_has_expected_verdicts() {
+    // x_{k+1} = 0.5 x_k + u_k, x_0 = 0, |u_k| <= 1, horizon 4.
+    // max reachable x_4 = 1 + 0.5 + 0.25 + 0.125 = 1.875.
+    let build = |target: f64| {
+        let mut pool = VarPool::new();
+        let xs = pool.fresh_block("x", 5);
+        let us = pool.fresh_block("u", 4);
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(xs[0]).eq_to(0.0)));
+        for k in 0..4 {
+            let step = LinExpr::var(xs[k + 1]) - LinExpr::term(xs[k], 0.5) - LinExpr::var(us[k]);
+            solver.assert(Formula::atom(step.eq_to(0.0)));
+            solver.assert(Formula::atom(LinExpr::var(us[k]).le(1.0)));
+            solver.assert(Formula::atom(LinExpr::var(us[k]).ge(-1.0)));
+        }
+        solver.assert(Formula::atom(LinExpr::var(xs[4]).ge(target)));
+        solver.check().unwrap().is_sat()
+    };
+    assert!(build(1.8), "1.8 is reachable");
+    assert!(!build(1.9), "1.9 exceeds the reachable set");
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the `secure-cps` workspace.
+//!
+//! This package only hosts the workspace-level [examples](https://github.com/secure-cps)
+//! and integration tests; the functionality lives in the member crates and is
+//! re-exported here for convenience:
+//!
+//! - [`cps_linalg`] — dense linear algebra substrate
+//! - [`cps_smt`] — QF-LRA SMT solver (Z3 substitute)
+//! - [`cps_control`] — LTI plants, Kalman filter, LQR, closed-loop simulation
+//! - [`cps_monitors`] — range/gradient/relation monitors with dead zone
+//! - [`cps_detectors`] — residue-based detectors and FAR evaluation
+//! - [`cps_models`] — benchmark closed-loop systems (VSC, trajectory tracking, ...)
+//! - [`secure_cps`] — attack-vector synthesis and variable-threshold synthesis
+
+pub use cps_control as control;
+pub use cps_detectors as detectors;
+pub use cps_linalg as linalg;
+pub use cps_models as models;
+pub use cps_monitors as monitors;
+pub use cps_smt as smt;
+pub use secure_cps as core;
