@@ -6,7 +6,9 @@ use cps_bench::{bench_config, print_row, synthesis_benchmark};
 use cps_control::ResidueNorm;
 use cps_detectors::{Chi2Detector, CusumDetector, Detector, ThresholdDetector};
 use criterion::{criterion_group, criterion_main, Criterion};
-use secure_cps::{synthesize_static_threshold, FarExperiment, PivotSynthesizer, StepwiseSynthesizer};
+use secure_cps::{
+    synthesize_static_threshold, FarExperiment, PivotSynthesizer, StepwiseSynthesizer,
+};
 
 const TRIALS: usize = 300;
 
@@ -50,7 +52,10 @@ fn regenerate() {
             benchmark.name, report.generated, report.kept
         ),
     );
-    print_row("far", "detector, false_alarm_rate (paper: 0.615 / 0.456 / 0.989)");
+    print_row(
+        "far",
+        "detector, false_alarm_rate (paper: 0.615 / 0.456 / 0.989)",
+    );
     for (name, rate) in &report.rates {
         print_row("far", &format!("{name}, {rate:.3}"));
     }

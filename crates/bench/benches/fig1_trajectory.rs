@@ -13,12 +13,17 @@ fn regenerate() {
     let plant = benchmark.closed_loop.plant();
     let no_noise = NoiseModel::none(plant.num_states(), plant.num_outputs());
 
-    let clean = benchmark
-        .closed_loop
-        .simulate(&benchmark.initial_state, horizon, &no_noise, None, 0);
-    let noisy = benchmark
-        .closed_loop
-        .simulate(&benchmark.initial_state, horizon, &benchmark.noise, None, 1);
+    let clean =
+        benchmark
+            .closed_loop
+            .simulate(&benchmark.initial_state, horizon, &no_noise, None, 0);
+    let noisy = benchmark.closed_loop.simulate(
+        &benchmark.initial_state,
+        horizon,
+        &benchmark.noise,
+        None,
+        1,
+    );
     let synthesizer = AttackSynthesizer::new(&benchmark, bench_config());
     let attack = synthesizer
         .synthesize(None)
@@ -33,7 +38,10 @@ fn regenerate() {
     );
 
     let target = benchmark.performance.target();
-    print_row("fig1a", "k, deviation_no_noise, deviation_noise, deviation_attack");
+    print_row(
+        "fig1a",
+        "k, deviation_no_noise, deviation_noise, deviation_attack",
+    );
     for k in 0..=horizon {
         print_row(
             "fig1a",

@@ -53,7 +53,10 @@ fn regenerate() {
                 );
             }
         }
-        None => print_row("fig2", "exact encoding: no stealthy attack at the reduced horizon"),
+        None => print_row(
+            "fig2",
+            "exact encoding: no stealthy attack at the reduced horizon",
+        ),
     }
 
     // Full-horizon conjunctive query (certificate for dead-zone-free attackers).

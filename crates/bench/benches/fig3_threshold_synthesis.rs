@@ -31,7 +31,11 @@ fn regenerate() {
         };
         print_row(
             "fig3",
-            &format!("{k}, {}, {}", fmt(&pivot.partial[k]), fmt(&stepwise.partial[k])),
+            &format!(
+                "{k}, {}, {}",
+                fmt(&pivot.partial[k]),
+                fmt(&stepwise.partial[k])
+            ),
         );
     }
 }

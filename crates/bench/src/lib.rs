@@ -3,7 +3,27 @@
 //! Each Criterion bench in `benches/` regenerates the data series of one
 //! figure or table of the paper (printed to stdout as CSV-like rows) and then
 //! times a representative kernel of that experiment. The printed series are
-//! what `EXPERIMENTS.md` records; the timings are secondary.
+//! what `ARCHITECTURE.md` ("Experiments") records; the timings are secondary.
+//!
+//! Paper mapping: `fig1_trajectory` → Fig. 1a/1b (motivational example),
+//! `fig2_vsc_attack` → Fig. 2 (VSC attack trace, §IV), `fig3_threshold_synthesis`
+//! → Fig. 3 (synthesised variable thresholds), `far_comparison` → the §IV
+//! false-alarm-rate table, `convergence` → the Algorithm 2 vs 3 round counts,
+//! and `solver_ablation` → an SMT-vs-LP comparison beyond the paper.
+//!
+//! Run them with `cargo bench` (the offline `criterion` stand-in prints median
+//! and min–max wall-clock times; see `crates/criterion_shim`).
+//!
+//! # Example
+//!
+//! ```
+//! let config = cps_bench::bench_config();
+//! // The bench configuration trades tight convergence for CEGIS round counts
+//! // in the tens, so a full synthesis run stays bench-friendly.
+//! assert!(config.convergence_margin >= 0.25);
+//! let benchmark = cps_bench::synthesis_benchmark();
+//! assert_eq!(benchmark.name, "trajectory-tracking");
+//! ```
 
 use cps_models::Benchmark;
 use secure_cps::{MonitorEncoding, SynthesisConfig};
@@ -34,7 +54,7 @@ pub fn vsc_scale_config() -> SynthesisConfig {
 /// horizon within a bench-friendly budget (the paper itself allots 12 hours
 /// per Z3 call), so the CEGIS pipeline is exercised end-to-end on the
 /// trajectory-tracking benchmark and the VSC is used for the
-/// attack-demonstration experiments (E3–E5). See `EXPERIMENTS.md` for the
+/// attack-demonstration experiments (E3–E5). See `ARCHITECTURE.md` ("Experiments") for the
 /// fidelity discussion.
 pub fn synthesis_benchmark() -> Benchmark {
     cps_models::trajectory_tracking().expect("benchmark builds")

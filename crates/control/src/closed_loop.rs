@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_linalg::{Matrix, Vector};
 
 use crate::{ControlError, NoiseModel, StateSpace, Trace};
@@ -7,7 +5,8 @@ use crate::{ControlError, NoiseModel, StateSpace, Trace};
 /// Set-point of the closed loop: the state target `x_des` and the equilibrium
 /// input `u_eq` around which the state-feedback law regulates,
 /// `u_k = u_eq − K·(x̂_k − x_des)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reference {
     x_des: Vector,
     u_eq: Vector,
@@ -61,7 +60,8 @@ impl Reference {
 /// assert_eq!(attack.injection(1)[0], 0.5);
 /// assert_eq!(attack.injection(7).as_slice(), &[0.0]); // past the end: no injection
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SensorAttack {
     injections: Vec<Vector>,
 }
@@ -93,9 +93,10 @@ impl SensorAttack {
     /// The injection added at step `k`; steps beyond the recorded horizon
     /// inject nothing.
     pub fn injection(&self, k: usize) -> Vector {
-        self.injections.get(k).cloned().unwrap_or_else(|| {
-            Vector::zeros(self.injections.first().map_or(0, Vector::len))
-        })
+        self.injections
+            .get(k)
+            .cloned()
+            .unwrap_or_else(|| Vector::zeros(self.injections.first().map_or(0, Vector::len)))
     }
 
     /// All injection vectors.
@@ -118,7 +119,8 @@ impl SensorAttack {
 /// [`ClosedLoop::simulate`] reproduces exactly the update order that the SMT
 /// encoder in the `secure-cps` crate unrolls, so simulated residues and
 /// symbolically derived residues agree (up to noise).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClosedLoop {
     plant: StateSpace,
     controller_gain: Matrix,
@@ -315,22 +317,22 @@ mod tests {
             0,
         );
         let final_state = trace.states().last().unwrap();
-        assert!(final_state.norm_inf() < 0.05, "did not regulate: {final_state}");
+        assert!(
+            final_state.norm_inf() < 0.05,
+            "did not regulate: {final_state}"
+        );
     }
 
     #[test]
     fn tracking_a_state_target_converges() {
         let closed_loop = double_integrator_loop()
             .with_reference(Reference::state_target(Vector::from_slice(&[2.0, 0.0])));
-        let trace = closed_loop.simulate(
-            &Vector::zeros(2),
-            300,
-            &NoiseModel::none(2, 1),
-            None,
-            0,
-        );
+        let trace = closed_loop.simulate(&Vector::zeros(2), 300, &NoiseModel::none(2, 1), None, 0);
         let final_state = trace.states().last().unwrap();
-        assert!((final_state[0] - 2.0).abs() < 0.05, "did not track: {final_state}");
+        assert!(
+            (final_state[0] - 2.0).abs() < 0.05,
+            "did not track: {final_state}"
+        );
     }
 
     #[test]
@@ -355,7 +357,8 @@ mod tests {
                 .map(|k| Vector::from_slice(&[if k >= 10 { 0.5 } else { 0.0 }]))
                 .collect(),
         );
-        let clean = closed_loop.simulate(&Vector::zeros(2), steps, &NoiseModel::none(2, 1), None, 0);
+        let clean =
+            closed_loop.simulate(&Vector::zeros(2), steps, &NoiseModel::none(2, 1), None, 0);
         let attacked = closed_loop.simulate(
             &Vector::zeros(2),
             steps,

@@ -1,6 +1,10 @@
 //! LTI plants, estimators, controllers and closed-loop simulation with
 //! sensor attacks.
 //!
+//! Paper mapping: §II of *Koley et al. (DATE 2020)* — the system model, the
+//! false-data-injection attack model and the residue signal that the
+//! detectors of later sections threshold.
+//!
 //! The crate models the control-loop structure assumed by the paper:
 //!
 //! ```text

@@ -1,8 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
-use cps_linalg::Vector;
+use cps_linalg::{SplitMix64, Vector};
 
 /// Independent zero-mean Gaussian process and measurement noise.
 ///
@@ -21,7 +17,8 @@ use cps_linalg::Vector;
 /// assert_eq!(w.len(), 2);
 /// assert_eq!(v.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseModel {
     process_std: Vec<f64>,
     measurement_std: Vec<f64>,
@@ -61,8 +58,7 @@ impl NoiseModel {
 
     /// Returns `true` when both noise sources are identically zero.
     pub fn is_none(&self) -> bool {
-        self.process_std.iter().all(|s| *s == 0.0)
-            && self.measurement_std.iter().all(|s| *s == 0.0)
+        self.process_std.iter().all(|s| *s == 0.0) && self.measurement_std.iter().all(|s| *s == 0.0)
     }
 
     /// Per-component process-noise standard deviations.
@@ -80,7 +76,12 @@ impl NoiseModel {
     /// noise, which keeps simulations reproducible and lets paired experiments
     /// (with and without attack) share a noise realisation.
     pub fn sample(&self, seed: u64, step: usize) -> (Vector, Vector) {
-        let mut rng = StdRng::seed_from_u64(seed ^ ((step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        // Avalanche-mix the step before combining with the seed. A linear mix
+        // (`step * G`) is NOT enough: G is also SplitMix64's state increment,
+        // so per-step states would lie on the same additive orbit and nearby
+        // steps would replay shifted copies of each other's stream.
+        let step_mix = SplitMix64::new(step as u64).next_u64();
+        let mut rng = SplitMix64::new(seed ^ step_mix);
         let w = Vector::from_fn(self.process_std.len(), |i| {
             gaussian(&mut rng) * self.process_std[i]
         });
@@ -93,9 +94,9 @@ impl NoiseModel {
 
 /// Standard normal sample via the Box–Muller transform (avoids a dependency on
 /// `rand_distr`, which is not in the sanctioned crate set).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+fn gaussian(rng: &mut SplitMix64) -> f64 {
+    let u1: f64 = rng.next_f64().max(f64::EPSILON);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -139,7 +140,29 @@ mod tests {
         let mean = sum / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.1, "sample mean {mean} too far from zero");
-        assert!((var - 1.0).abs() < 0.15, "sample variance {var} too far from one");
+        assert!(
+            (var - 1.0).abs() < 0.15,
+            "sample variance {var} too far from one"
+        );
+    }
+
+    #[test]
+    fn per_step_streams_do_not_replay_each_other() {
+        // Regression: with a linear `seed ^ step * G` reseed the raw stream of
+        // step k+2 was an exact 2-draw-shifted copy of step k's stream (always
+        // for seed 1, ~5 % of (seed, step) pairs in general), so gaussian i+1
+        // of step k reappeared verbatim as gaussian i of step k+2.
+        let noise = NoiseModel::uniform_std(2, 1, 1.0, 1.0);
+        for seed in [0, 1, 2, 123] {
+            for step in 0..40 {
+                let (w, _) = noise.sample(seed, step);
+                let (w_next, _) = noise.sample(seed, step + 2);
+                assert_ne!(
+                    w[1], w_next[0],
+                    "seed {seed} step {step}: shifted stream replay"
+                );
+            }
+        }
     }
 
     #[test]

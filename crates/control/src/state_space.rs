@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_linalg::{expm, Matrix, Vector};
 
 use crate::ControlError;
@@ -25,7 +23,8 @@ use crate::ControlError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateSpace {
     a: Matrix,
     b: Matrix,
@@ -137,7 +136,8 @@ impl StateSpace {
 
 /// A continuous-time LTI plant `ẋ = A·x + B·u`, `y = C·x + D·u`, convertible
 /// to a discrete [`StateSpace`] by zero-order-hold sampling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ContinuousStateSpace {
     a: Matrix,
     b: Matrix,

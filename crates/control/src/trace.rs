@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_linalg::Vector;
 
 /// Norm applied to residue vectors before comparison with a threshold.
@@ -7,7 +5,8 @@ use cps_linalg::Vector;
 /// The paper writes `‖z_k‖` without fixing the norm; the formal synthesis
 /// pipeline uses [`ResidueNorm::Linf`] so that threshold comparisons stay
 /// linear, while simulation-based evaluation can use any of the three.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ResidueNorm {
     /// Sum of absolute components.
     L1,
@@ -35,7 +34,8 @@ impl ResidueNorm {
 /// `controls()[k]` and `residues()[k]` all refer to sampling instant `k`,
 /// with `k = 0` the initial condition; a rollout of `T` steps stores `T + 1`
 /// states and `T` residues/controls/measurements.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     states: Vec<Vector>,
     estimates: Vec<Vector>,
@@ -58,7 +58,11 @@ impl Trace {
         controls: Vec<Vector>,
         residues: Vec<Vector>,
     ) -> Self {
-        assert_eq!(states.len(), estimates.len(), "state/estimate length mismatch");
+        assert_eq!(
+            states.len(),
+            estimates.len(),
+            "state/estimate length mismatch"
+        );
         assert_eq!(
             measurements.len(),
             controls.len(),
@@ -70,7 +74,8 @@ impl Trace {
             "measurement/residue length mismatch"
         );
         assert!(
-            states.len() == measurements.len() + 1 || (states.is_empty() && measurements.is_empty()),
+            states.len() == measurements.len() + 1
+                || (states.is_empty() && measurements.is_empty()),
             "a T-step trace stores T+1 states and T measurements"
         );
         Self {

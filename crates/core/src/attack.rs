@@ -22,7 +22,7 @@ pub enum MonitorEncoding {
     /// to the paper's 50-sample horizon; any attack found this way is also a
     /// valid attack under the exact semantics, but the `UNSAT` certificate
     /// only covers attackers that never exploit the dead zone. See
-    /// `DESIGN.md` §2 for the substitution note.
+    /// `ARCHITECTURE.md` ("Fidelity notes") for the substitution note.
     ConjunctiveAfter(usize),
 }
 
@@ -35,7 +35,7 @@ pub struct SynthesisConfig {
     /// Residue norm used when reporting the synthesized attack's residues and
     /// when the CEGIS algorithms pick pivots. The *encoding* always bounds
     /// each residue component individually (an ∞-norm detector), which keeps
-    /// the query linear; see `DESIGN.md` for the substitution note.
+    /// the query linear; see `ARCHITECTURE.md` ("Fidelity notes") for the substitution note.
     pub residue_norm: ResidueNorm,
     /// Optional horizon override (use a smaller `T` than the benchmark's for
     /// faster exploratory queries).
@@ -268,7 +268,11 @@ impl<'a> AttackSynthesizer<'a> {
     ) -> bool {
         // Residue stealth on the simulated (noise-free) trace.
         if let Some(threshold) = threshold {
-            for (k, entry) in threshold.iter().enumerate().take(attack.residue_norms.len()) {
+            for (k, entry) in threshold
+                .iter()
+                .enumerate()
+                .take(attack.residue_norms.len())
+            {
                 if let Some(bound) = entry {
                     if attack.residue_norms[k] >= *bound {
                         return false;
@@ -363,7 +367,10 @@ mod tests {
         let synthesizer = AttackSynthesizer::new(&benchmark, config);
         let mut partial: Vec<Option<f64>> = vec![None; benchmark.horizon];
         partial[benchmark.horizon - 1] = Some(0.05);
-        if let Some(attack) = synthesizer.synthesize(Some(&partial)).expect("query decided") {
+        if let Some(attack) = synthesizer
+            .synthesize(Some(&partial))
+            .expect("query decided")
+        {
             assert!(
                 attack.residue_norms[benchmark.horizon - 1] < 0.05,
                 "checked instant must respect its threshold"

@@ -272,7 +272,11 @@ mod tests {
         let benchmark = cps_models::vsc().unwrap();
         let unrolled = UnrolledLoop::with_horizon(&benchmark, 5);
         assert_eq!(unrolled.horizon(), 5);
-        assert_eq!(unrolled.vars().len(), 5 * 2, "two attacked sensors per step");
+        assert_eq!(
+            unrolled.vars().len(),
+            5 * 2,
+            "two attacked sensors per step"
+        );
         assert_eq!(unrolled.num_residue_components(), 2);
         assert_eq!(unrolled.measurement_symbols().len(), 5);
         assert_eq!(unrolled.state(0).len(), 2);

@@ -103,7 +103,10 @@ mod tests {
         let benchmark = cps_models::trajectory_tracking().unwrap();
         let experiment = FarExperiment::new(&benchmark, 50, 7);
         let traces = experiment.noise_traces();
-        assert!(!traces.is_empty(), "the nominal noise level should pass the filter");
+        assert!(
+            !traces.is_empty(),
+            "the nominal noise level should pass the filter"
+        );
         for trace in &traces {
             assert!(benchmark
                 .performance
@@ -117,11 +120,10 @@ mod tests {
         let benchmark = cps_models::trajectory_tracking().unwrap();
         let experiment = FarExperiment::new(&benchmark, 80, 11);
         let horizon = benchmark.horizon;
-        let tight = ThresholdDetector::new(
-            ThresholdSpec::constant(1e-4, horizon),
-            ResidueNorm::Linf,
-        );
-        let loose = ThresholdDetector::new(ThresholdSpec::constant(1.0, horizon), ResidueNorm::Linf);
+        let tight =
+            ThresholdDetector::new(ThresholdSpec::constant(1e-4, horizon), ResidueNorm::Linf);
+        let loose =
+            ThresholdDetector::new(ThresholdSpec::constant(1.0, horizon), ResidueNorm::Linf);
         let report = experiment.run(&[("tight", &tight), ("loose", &loose)]);
         assert_eq!(report.generated, 80);
         assert_eq!(report.kept + report.discarded, 80);

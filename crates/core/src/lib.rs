@@ -67,7 +67,7 @@ pub use synthesis::{PivotSynthesizer, SynthesisError, SynthesisOutcome, Synthesi
 /// residue norm must stay strictly below `v` to remain stealthy.
 pub type PartialThreshold = Vec<Option<f64>>;
 
-/// Converts a partial threshold vector into a [`ThresholdSpec`]
+/// Converts a partial threshold vector into a [`ThresholdSpec`](cps_detectors::ThresholdSpec)
 /// (unchecked instants become `+∞`, i.e. they never alarm).
 ///
 /// # Panics

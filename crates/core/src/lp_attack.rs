@@ -5,7 +5,7 @@ use cps_smt::{maximize, Constraint, LinExpr, OptimizeOutcome};
 
 use crate::{SynthesisConfig, SynthesizedAttack, UnrolledLoop};
 
-/// LP-only attack synthesis — the solver ablation discussed in `DESIGN.md`.
+/// LP-only attack synthesis — the solver ablation discussed in `ARCHITECTURE.md`.
 ///
 /// Instead of the full Boolean/theory query of Algorithm 1, this synthesizer
 /// keeps only the *conjunctive* stealth constraints (residue bounds, attack

@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn stepwise_synthesis_secures_the_trajectory_benchmark() {
         let benchmark = cps_models::trajectory_tracking().unwrap();
-        let synthesizer =
-            StepwiseSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
+        let synthesizer = StepwiseSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
         let report = synthesizer.run().expect("synthesis runs");
         assert!(report.converged, "synthesis should converge");
         assert!(report.is_monotone_decreasing());
@@ -239,8 +238,7 @@ mod tests {
     #[test]
     fn staircase_structure_is_contiguous() {
         let benchmark = cps_models::trajectory_tracking().unwrap();
-        let synthesizer =
-            StepwiseSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
+        let synthesizer = StepwiseSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
         let report = synthesizer.run().expect("synthesis runs");
         // Once a threshold is set, every later instant is also set (staircase
         // covers a prefix-contiguous region growing to the full horizon, or
@@ -249,11 +247,9 @@ mod tests {
             let first_set = report.partial.iter().position(|v| v.is_some());
             if let Some(first) = first_set {
                 assert!(
-                    report.partial[first..]
-                        .iter()
-                        .all(|v| v.is_some())
-                        || report.partial[first..].iter().any(|v| v.is_none()),
-                    "staircase shape check"
+                    report.partial[first..].iter().all(|v| v.is_some()),
+                    "converged staircase leaves a gap after instant {first}: {:?}",
+                    report.partial
                 );
             }
         }

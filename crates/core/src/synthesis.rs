@@ -184,10 +184,7 @@ impl<'a> PivotSynthesizer<'a> {
     /// Largest existing threshold strictly after instant `i` (for the
     /// monotonicity check when inserting a new threshold at `i`).
     fn max_after(th: &[Option<f64>], i: usize) -> f64 {
-        th.iter()
-            .skip(i + 1)
-            .filter_map(|v| *v)
-            .fold(0.0, f64::max)
+        th.iter().skip(i + 1).filter_map(|v| *v).fold(0.0, f64::max)
     }
 
     /// Smallest existing threshold strictly before instant `i`.
@@ -208,7 +205,10 @@ impl<'a> PivotSynthesizer<'a> {
                 .filter(|k| th[*k].is_none() && z[*k] >= th_p && z[*k] > MIN_THRESHOLD)
                 .max_by(|a, b| z[*a].partial_cmp(&z[*b]).expect("finite residues"));
             if let Some(i) = candidate {
-                let value = self.shrink(z[i]).min(Self::min_before(th, i)).max(MIN_THRESHOLD);
+                let value = self
+                    .shrink(z[i])
+                    .min(Self::min_before(th, i))
+                    .max(MIN_THRESHOLD);
                 if value >= Self::max_after(th, i) {
                     th[i] = Some(value);
                     return true;
@@ -232,7 +232,10 @@ impl<'a> PivotSynthesizer<'a> {
             if let Some(i) = candidate {
                 let later_ok = ((i + 1)..horizon).all(|k| th[k].is_none_or(|v| z[i] >= v));
                 if later_ok {
-                    let value = self.shrink(z[i]).min(Self::min_before(th, i)).max(MIN_THRESHOLD);
+                    let value = self
+                        .shrink(z[i])
+                        .min(Self::min_before(th, i))
+                        .max(MIN_THRESHOLD);
                     th[i] = Some(value);
                     return true;
                 }
@@ -291,8 +294,7 @@ mod tests {
     #[test]
     fn pivot_synthesis_secures_the_trajectory_benchmark() {
         let benchmark = cps_models::trajectory_tracking().unwrap();
-        let synthesizer =
-            PivotSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
+        let synthesizer = PivotSynthesizer::new(&benchmark, test_config()).with_max_rounds(400);
         let report = synthesizer.run().expect("synthesis runs");
         assert!(report.converged, "synthesis should converge");
         assert!(report.attacks_eliminated >= 1);

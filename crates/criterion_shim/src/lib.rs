@@ -1,0 +1,197 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) bench
+//! harness.
+//!
+//! The workspace builds in a container without network access, so the real
+//! `criterion` crate cannot be resolved. This crate implements the (small)
+//! subset of its API that the `cps_bench` benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — with wall-clock timing and a plain-text report, so
+//! that `cargo bench` produces useful numbers and the bench sources compile
+//! unchanged against the real crate when it is vendored back in.
+//!
+//! Differences from the real crate: no statistical analysis (median and range
+//! over the sample only), no warm-up phase, no plots, no baseline comparison.
+//! `cargo bench -- --test` runs each routine once and skips timing, matching
+//! criterion's behaviour. (Note the `cps_bench` targets set `test = false`,
+//! so plain `cargo test` does not smoke-run them.)
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().with_samples(3);
+//! let mut group = c.benchmark_group("demo");
+//! group.bench_function("sum", |b| {
+//!     b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+//! });
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from const-folding a benched
+/// expression away. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point handed to each registered bench function.
+///
+/// Holds run-wide configuration (sample count, test mode) and spawns
+/// [`BenchmarkGroup`]s.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    samples: usize,
+    // CPS_BENCH_SAMPLES beats even an explicit `sample_size(n)` in the bench
+    // source: it is the operator's knob for dialing a whole run up or down.
+    samples_override: Option<usize>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks harnesses to verify the routines run,
+        // not to time them.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let samples_override = std::env::var("CPS_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(|s: usize| s.max(1));
+        Self {
+            samples: 10,
+            samples_override,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Times `routine` (via the [`Bencher`] it receives) and prints a one-line
+    /// report: median and min–max range over the samples.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.criterion
+                .samples_override
+                .or(self.sample_size)
+                .unwrap_or(self.criterion.samples)
+        };
+        let mut bencher = Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        };
+        routine(&mut bencher);
+        let mut times = bencher.durations;
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return self;
+        }
+        if times.is_empty() {
+            println!(
+                "{}/{}: no samples (routine never called iter)",
+                self.name, id
+            );
+            return self;
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        println!(
+            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples)",
+            self.name,
+            id,
+            median,
+            lo,
+            hi,
+            times.len()
+        );
+        self
+    }
+
+    /// Ends the group. (The shim reports eagerly, so this is a no-op kept for
+    /// API compatibility.)
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handed to the closure of
+/// [`bench_function`](BenchmarkGroup::bench_function).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample, recording each run's wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles bench functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_control::{ResidueNorm, Trace};
 
 use crate::Detector;
@@ -10,7 +8,8 @@ use crate::Detector;
 /// This is the classical alternative to per-sample threshold tests; it is not
 /// part of the paper's contribution but serves as an additional baseline in
 /// the FAR comparison benches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Chi2Detector {
     window: usize,
     threshold: f64,
@@ -64,7 +63,8 @@ impl Detector for Chi2Detector {
 
 /// One-sided CUSUM detector on the residue norm: the statistic
 /// `S_k = max(0, S_{k−1} + ‖z_k‖ − drift)` is compared against a threshold.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CusumDetector {
     drift: f64,
     threshold: f64,
@@ -168,10 +168,7 @@ mod tests {
     fn cusum_accumulates_persistent_bias() {
         let detector = CusumDetector::new(0.1, 0.5, ResidueNorm::Linf);
         // Residues at the drift level never alarm.
-        assert_eq!(
-            detector.first_alarm(&trace_with_residues(&[0.1; 20])),
-            None
-        );
+        assert_eq!(detector.first_alarm(&trace_with_residues(&[0.1; 20])), None);
         // A persistent 0.3 residue accumulates 0.2 per step: the statistic is
         // 0.2, 0.4, 0.6, … and first exceeds 0.5 at step 2.
         assert_eq!(
@@ -185,7 +182,10 @@ mod tests {
         let detector = CusumDetector::new(0.2, 10.0, ResidueNorm::Linf);
         let stats = detector.statistic(&trace_with_residues(&[0.5, 0.5, 0.0, 0.0, 0.0]));
         assert!(stats[1] > stats[0] - 1e-12);
-        assert!(stats[4] < stats[1], "statistic should decay in quiet periods");
+        assert!(
+            stats[4] < stats[1],
+            "statistic should decay in quiet periods"
+        );
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Residue-based attack detectors and their statistical evaluation.
 //!
+//! Paper mapping: the detection system of §II–§III of *Koley et al.
+//! (DATE 2020)* — static thresholds and the variable (monotonically
+//! decreasing) thresholds produced by the synthesis algorithms — plus the
+//! false-alarm-rate comparison of §IV.
+//!
 //! The paper's detector raises an alarm at sampling instant `k` when
 //! `‖z_k‖ ≥ Th[k]`, where `Th` is either a single static threshold or the
 //! variable (monotonically decreasing) threshold vector produced by the

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_control::{ResidueNorm, Trace};
 
 use crate::Detector;
@@ -23,7 +21,8 @@ use crate::Detector;
 /// assert_eq!(th.value_at(10), 0.1); // beyond the horizon: last value
 /// assert!(th.is_monotone_decreasing());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThresholdSpec {
     values: Vec<f64>,
 }
@@ -86,9 +85,7 @@ impl ThresholdSpec {
 
     /// Returns `true` when every instant has the same threshold.
     pub fn is_static(&self) -> bool {
-        self.values
-            .windows(2)
-            .all(|w| (w[0] - w[1]).abs() <= 1e-12)
+        self.values.windows(2).all(|w| (w[0] - w[1]).abs() <= 1e-12)
     }
 
     /// Largest stored threshold value.
@@ -99,7 +96,8 @@ impl ThresholdSpec {
 
 /// The residue-based detector of the paper: alarm at instant `k` when
 /// `‖z_k‖ ≥ Th[k]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThresholdDetector {
     threshold: ThresholdSpec,
     norm: ResidueNorm,
@@ -144,10 +142,7 @@ mod tests {
         let estimates = vec![Vector::zeros(1); steps + 1];
         let measurements = vec![Vector::zeros(1); steps];
         let controls = vec![Vector::zeros(1); steps];
-        let residues = residues
-            .iter()
-            .map(|z| Vector::from_slice(&[*z]))
-            .collect();
+        let residues = residues.iter().map(|z| Vector::from_slice(&[*z])).collect();
         Trace::new(states, estimates, measurements, controls, residues)
     }
 
@@ -183,8 +178,7 @@ mod tests {
 
     #[test]
     fn detector_alarms_on_first_exceeding_instant() {
-        let detector =
-            ThresholdDetector::new(ThresholdSpec::constant(0.3, 10), ResidueNorm::Linf);
+        let detector = ThresholdDetector::new(ThresholdSpec::constant(0.3, 10), ResidueNorm::Linf);
         let quiet = trace_with_residues(&[0.1, 0.2, 0.25]);
         assert_eq!(detector.first_alarm(&quiet), None);
         assert!(!detector.detects(&quiet));

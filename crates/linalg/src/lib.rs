@@ -13,6 +13,11 @@
 //!   discrete algebraic Riccati and Lyapunov equations, used to design the
 //!   steady-state Kalman filter and the LQR controller.
 //!
+//! Paper mapping: no section of *Koley et al. (DATE 2020)* is about linear
+//! algebra itself, but everything in §II (plant, estimator and controller
+//! design) and the affine unrolling behind §III's SMT queries is computed with
+//! the primitives in this crate.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +41,7 @@ mod expm;
 mod lu;
 mod matrix;
 mod riccati;
+mod rng;
 mod vector;
 
 pub use error::LinalgError;
@@ -43,6 +49,7 @@ pub use expm::expm;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use riccati::{solve_dare, solve_discrete_lyapunov, RiccatiOptions};
+pub use rng::SplitMix64;
 pub use vector::Vector;
 
 /// Default absolute tolerance used by iterative solvers and approximate

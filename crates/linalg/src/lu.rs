@@ -189,8 +189,8 @@ mod tests {
 
     #[test]
     fn solve_known_system() {
-        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
         let b = Vector::from_slice(&[1.0, -2.0, 0.0]);
         let x = a.solve(&b).unwrap();
         assert!(approx_eq(x[0], 1.0, 1e-10));

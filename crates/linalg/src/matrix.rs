@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{LinalgError, LuDecomposition, Vector};
 
 /// A dense, row-major matrix of `f64` values.
@@ -25,7 +23,8 @@ use crate::{LinalgError, LuDecomposition, Vector};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -290,13 +289,17 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        Ok(Matrix::from_fn(self.rows, self.cols + other.cols, |i, j| {
-            if j < self.cols {
-                self[(i, j)]
-            } else {
-                other[(i, j - self.cols)]
-            }
-        }))
+        Ok(Matrix::from_fn(
+            self.rows,
+            self.cols + other.cols,
+            |i, j| {
+                if j < self.cols {
+                    self[(i, j)]
+                } else {
+                    other[(i, j - self.cols)]
+                }
+            },
+        ))
     }
 
     /// Vertically concatenates `self` on top of `other`.
@@ -312,13 +315,17 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        Ok(Matrix::from_fn(self.rows + other.rows, self.cols, |i, j| {
-            if i < self.rows {
-                self[(i, j)]
-            } else {
-                other[(i - self.rows, j)]
-            }
-        }))
+        Ok(Matrix::from_fn(
+            self.rows + other.rows,
+            self.cols,
+            |i, j| {
+                if i < self.rows {
+                    self[(i, j)]
+                } else {
+                    other[(i - self.rows, j)]
+                }
+            },
+        ))
     }
 
     /// Computes the LU decomposition with partial pivoting.

@@ -190,7 +190,10 @@ mod tests {
         let p = solve_dare(&a, &b, &q, &r, RiccatiOptions::default()).unwrap();
         let p00 = p[(0, 0)];
         let rhs = 0.81 * p00 - 0.81 * p00 * p00 / (1.0 + p00) + 1.0;
-        assert!(approx_eq(p00, rhs, 1e-8), "fixed point violated: {p00} vs {rhs}");
+        assert!(
+            approx_eq(p00, rhs, 1e-8),
+            "fixed point violated: {p00} vs {rhs}"
+        );
         assert!(p00 > 0.0);
     }
 
@@ -210,7 +213,13 @@ mod tests {
         let correction = a_t
             .matmul(&pb)
             .unwrap()
-            .matmul(&gram.lu().unwrap().solve_matrix(&b_t.matmul(&pa).unwrap()).unwrap())
+            .matmul(
+                &gram
+                    .lu()
+                    .unwrap()
+                    .solve_matrix(&b_t.matmul(&pa).unwrap())
+                    .unwrap(),
+            )
             .unwrap();
         let rhs = &(&a_t.matmul(&pa).unwrap() - &correction) + &q;
         assert!((rhs - p).norm_fro() < 1e-6);

@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A dense column vector of `f64` values.
 ///
 /// `Vector` is the value type exchanged between the plant, estimator and
@@ -18,7 +16,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.len(), 2);
 /// assert!((v.norm_l2() - 5.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector {
     data: Vec<f64>,
 }
@@ -265,7 +264,11 @@ impl Sub<&Vector> for Vector {
 
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
-        assert_eq!(self.len(), rhs.len(), "vector addition requires equal lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector addition requires equal lengths"
+        );
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b;
         }

@@ -36,7 +36,11 @@ pub fn dc_motor() -> Result<Benchmark, ControlError> {
     )?;
     let plant = continuous.discretize(ts)?;
 
-    let controller = lqr_gain(&plant, &Matrix::from_diag(&[0.1, 10.0]), &Matrix::from_diag(&[1.0]))?;
+    let controller = lqr_gain(
+        &plant,
+        &Matrix::from_diag(&[0.1, 10.0]),
+        &Matrix::from_diag(&[1.0]),
+    )?;
     let estimator = kalman_gain(
         &plant,
         &Matrix::from_diag(&[1e-4, 1e-4]),

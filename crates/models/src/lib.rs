@@ -1,5 +1,9 @@
 //! Benchmark closed-loop CPS models used by the synthesis experiments.
 //!
+//! Paper mapping: the Vehicle Stability Controller case study of §IV and the
+//! motivational tracking example of Fig. 1 in *Koley et al. (DATE 2020)*,
+//! plus three extra benchmarks that go beyond the paper.
+//!
 //! Each function returns a fully assembled [`Benchmark`]: the discrete plant,
 //! the designed LQR controller and steady-state Kalman estimator, the plant's
 //! monitoring constraints (`mdc`), the performance criterion (`pfc`), the

@@ -28,7 +28,8 @@ pub fn inverted_pendulum() -> Result<Benchmark, ControlError> {
     let gravity = 9.8; // m/s²
     let pole_length = 0.3; // m (to centre of mass)
 
-    let p = pole_inertia * (cart_mass + pole_mass) + cart_mass * pole_mass * pole_length * pole_length;
+    let p =
+        pole_inertia * (cart_mass + pole_mass) + cart_mass * pole_mass * pole_length * pole_length;
     let a22 = -(pole_inertia + pole_mass * pole_length * pole_length) * friction / p;
     let a23 = pole_mass * pole_mass * gravity * pole_length * pole_length / p;
     let a42 = -pole_mass * pole_length * friction / p;
@@ -98,7 +99,10 @@ mod tests {
     fn open_loop_is_unstable_but_closed_loop_is_stable() {
         let benchmark = inverted_pendulum().unwrap();
         let plant = benchmark.closed_loop.plant();
-        assert!(plant.spectral_radius() > 1.0, "cart-pole should be unstable");
+        assert!(
+            plant.spectral_radius() > 1.0,
+            "cart-pole should be unstable"
+        );
         let closed = plant.a()
             - &plant
                 .b()

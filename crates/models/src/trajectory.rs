@@ -1,4 +1,6 @@
-use cps_control::{kalman_gain, lqr_gain, ClosedLoop, ControlError, NoiseModel, Reference, StateSpace};
+use cps_control::{
+    kalman_gain, lqr_gain, ClosedLoop, ControlError, NoiseModel, Reference, StateSpace,
+};
 use cps_linalg::{Matrix, Vector};
 use cps_monitors::MonitorSuite;
 
@@ -96,7 +98,10 @@ mod tests {
             .residue_norms(ResidueNorm::Linf)
             .into_iter()
             .fold(0.0, f64::max);
-        assert!(max < 1e-9, "noise-free nominal residue should vanish, got {max}");
+        assert!(
+            max < 1e-9,
+            "noise-free nominal residue should vanish, got {max}"
+        );
     }
 
     #[test]

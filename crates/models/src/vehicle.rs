@@ -35,8 +35,8 @@ const GAMMA_DES: f64 = 0.1;
 /// `pfc`: the yaw rate must reach at least 80 % of the desired value within
 /// 50 sampling instants.
 ///
-/// Substitution note (see `DESIGN.md`): the exact vehicle parameters of the
-/// paper's references [10], [11] are not public; the model here uses a
+/// Substitution note (see `ARCHITECTURE.md`, "Fidelity notes"): the exact vehicle parameters of the
+/// paper's references \[10\], \[11\] are not public; the model here uses a
 /// standard mid-size-sedan parameterisation, which preserves the structure
 /// the monitors and the synthesis algorithms operate on.
 ///
@@ -119,10 +119,7 @@ pub fn vsc() -> Result<Benchmark, ControlError> {
 
 /// Solves for the steady-state `(x_des, u_eq)` pair of the discrete plant that
 /// holds the yaw rate at `gamma`: `x = A·x + B·u` with `x[1] = gamma`.
-fn yaw_rate_equilibrium(
-    plant: &StateSpace,
-    gamma: f64,
-) -> Result<(Vector, Vector), ControlError> {
+fn yaw_rate_equilibrium(plant: &StateSpace, gamma: f64) -> Result<(Vector, Vector), ControlError> {
     // Unknowns: [β, γ, δ]. Equations: the two state equations and γ = gamma.
     let a = plant.a();
     let b = plant.b();

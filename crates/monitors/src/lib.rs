@@ -1,5 +1,9 @@
 //! Plant monitoring constraints (`mdc` in the paper).
 //!
+//! Paper mapping: the monitoring/diagnostics constraints of §II–§III of
+//! *Koley et al. (DATE 2020)*, instantiated for the VSC case study in §IV
+//! (range, gradient and relation checks with a 300 ms dead zone).
+//!
 //! Modern CPS implementations often ship sanity monitors alongside the
 //! controller: range checks, gradient (rate-of-change) checks and relation
 //! checks between redundant sensors, debounced by a *dead zone* so that a

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use cps_linalg::Vector;
 use cps_smt::Formula;
 
@@ -7,7 +5,8 @@ use crate::MeasurementSymbols;
 
 /// Range monitor: measurement component `signal` must stay in
 /// `[lower, upper]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RangeMonitor {
     /// Index of the monitored measurement component.
     pub signal: usize,
@@ -36,7 +35,8 @@ impl RangeMonitor {
 /// Gradient monitor: the discrete rate of change of measurement component
 /// `signal` must not exceed `max_rate` in magnitude,
 /// `|y_k[s] − y_{k−1}[s]| / T_s ≤ max_rate`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GradientMonitor {
     /// Index of the monitored measurement component.
     pub signal: usize,
@@ -61,7 +61,8 @@ impl GradientMonitor {
 ///
 /// In the VSC case study `a` is the yaw-rate sensor and `coeff_b · y[b]` the
 /// yaw rate estimated from lateral acceleration (`a_y / v_x`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RelationMonitor {
     /// Index of the primary measurement component.
     pub signal_a: usize,
@@ -80,7 +81,10 @@ impl RelationMonitor {
     ///
     /// Panics if `allowed_diff` is negative.
     pub fn new(signal_a: usize, signal_b: usize, coeff_b: f64, allowed_diff: f64) -> Self {
-        assert!(allowed_diff >= 0.0, "allowed difference must be non-negative");
+        assert!(
+            allowed_diff >= 0.0,
+            "allowed difference must be non-negative"
+        );
         Self {
             signal_a,
             signal_b,
@@ -91,7 +95,8 @@ impl RelationMonitor {
 }
 
 /// A single monitoring constraint evaluated at every sampling instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Monitor {
     /// Range check on one measurement component.
     Range(RangeMonitor),
@@ -114,7 +119,12 @@ impl Monitor {
 
     /// Convenience constructor for a [`RelationMonitor`].
     pub fn relation(signal_a: usize, signal_b: usize, coeff_b: f64, allowed_diff: f64) -> Self {
-        Monitor::Relation(RelationMonitor::new(signal_a, signal_b, coeff_b, allowed_diff))
+        Monitor::Relation(RelationMonitor::new(
+            signal_a,
+            signal_b,
+            coeff_b,
+            allowed_diff,
+        ))
     }
 
     /// Returns `true` when the monitor is satisfied (not violated) at step `k`
@@ -160,8 +170,8 @@ impl Monitor {
                 if k == 0 {
                     Formula::True
                 } else {
-                    let diff = symbols.measurement(k, m.signal)
-                        - symbols.measurement(k - 1, m.signal);
+                    let diff =
+                        symbols.measurement(k, m.signal) - symbols.measurement(k - 1, m.signal);
                     let bound = m.max_rate * ts;
                     Formula::and(vec![
                         Formula::atom(diff.clone().le(bound)),

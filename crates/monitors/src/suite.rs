@@ -1,12 +1,11 @@
-use serde::{Deserialize, Serialize};
-
 use cps_linalg::Vector;
 use cps_smt::Formula;
 
 use crate::{MeasurementSymbols, Monitor};
 
 /// Verdict of running a [`MonitorSuite`] over a measurement sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MonitorVerdict {
     /// `violations[k]` is `true` when at least one monitor is violated at
     /// sampling instant `k`.
@@ -28,7 +27,8 @@ impl MonitorVerdict {
 /// A sampling instant is *violating* when any monitor check fails there; the
 /// suite raises an alarm when `dead_zone` consecutive instants are violating.
 /// With `dead_zone == 1` a single violation alarms immediately.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MonitorSuite {
     monitors: Vec<Monitor>,
     dead_zone: usize,
@@ -173,7 +173,10 @@ mod tests {
         // Two consecutive violations, then recovery: no alarm.
         let verdict = suite.evaluate(&meas(&[&[2.0], &[2.0], &[0.0], &[2.0], &[2.0], &[0.0]]));
         assert!(!verdict.alarmed());
-        assert_eq!(verdict.violations, vec![true, true, false, true, true, false]);
+        assert_eq!(
+            verdict.violations,
+            vec![true, true, false, true, true, false]
+        );
         // Three consecutive violations: alarm at the third.
         let verdict = suite.evaluate(&meas(&[&[0.0], &[2.0], &[2.0], &[2.0]]));
         assert_eq!(verdict.alarm_at, Some(3));

@@ -1,11 +1,10 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::LinExpr;
 
 /// Relational operator of an atomic linear constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RelOp {
     /// `expr <= bound`
     Le,
@@ -72,7 +71,8 @@ impl fmt::Display for RelOp {
 /// assert!(c.holds(&[1.5]));
 /// assert!(!c.holds(&[2.5]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Constraint {
     expr: LinExpr,
     op: RelOp,

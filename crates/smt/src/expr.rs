@@ -2,15 +2,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Constraint, RelOp};
 
 /// Identifier of a real-valued SMT variable.
 ///
 /// Variables are allocated by a [`VarPool`]; the numeric id indexes the
 /// model produced by the solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -38,7 +37,8 @@ impl fmt::Display for VarId {
 /// assert_eq!(pool.name(a), "attack_0");
 /// assert_eq!(pool.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarPool {
     names: Vec<String>,
 }
@@ -58,7 +58,9 @@ impl VarPool {
 
     /// Allocates `count` fresh variables named `prefix_0 .. prefix_{count-1}`.
     pub fn fresh_block(&mut self, prefix: &str, count: usize) -> Vec<VarId> {
-        (0..count).map(|i| self.fresh(format!("{prefix}_{i}"))).collect()
+        (0..count)
+            .map(|i| self.fresh(format!("{prefix}_{i}")))
+            .collect()
     }
 
     /// Number of variables allocated so far.
@@ -104,7 +106,8 @@ impl VarPool {
 /// assert_eq!(e.coefficient(x), 2.0);
 /// assert_eq!(e.constant_term(), -1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinExpr {
     /// Map from variable to coefficient; zero coefficients are never stored.
     coeffs: BTreeMap<VarId, f64>,

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Constraint;
 
 /// A Boolean combination of atomic linear constraints.
@@ -26,7 +24,8 @@ use crate::Constraint;
 /// assert!(!f.holds(&[11.0]));
 /// assert!(f.holds(&[-1.0])); // antecedent false
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Formula {
     /// The constant `true`.
     True,
@@ -115,9 +114,7 @@ impl Formula {
             Formula::True | Formula::False => 0,
             Formula::Atom(_) => 1,
             Formula::Not(inner) => inner.atom_count(),
-            Formula::And(parts) | Formula::Or(parts) => {
-                parts.iter().map(Formula::atom_count).sum()
-            }
+            Formula::And(parts) | Formula::Or(parts) => parts.iter().map(Formula::atom_count).sum(),
         }
     }
 
@@ -196,10 +193,7 @@ mod tests {
         );
         assert_eq!(Formula::or(vec![Formula::True, a.clone()]), Formula::True);
 
-        let nested = Formula::and(vec![
-            Formula::and(vec![a.clone(), a.clone()]),
-            a.clone(),
-        ]);
+        let nested = Formula::and(vec![Formula::and(vec![a.clone(), a.clone()]), a.clone()]);
         match nested {
             Formula::And(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected flattened conjunction, got {other}"),

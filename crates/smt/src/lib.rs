@@ -8,6 +8,9 @@
 //! of linear constraints over real variables, which is exactly the QF-LRA
 //! fragment implemented here.
 //!
+//! Paper mapping: discharges the Algorithm 1 attack-vector queries of §III
+//! (the paper hands them to Z3) and, via [`optimize`], the LP-only ablation.
+//!
 //! # Architecture
 //!
 //! - [`LinExpr`] / [`Constraint`] — linear expressions and atomic constraints,

@@ -90,9 +90,7 @@ pub fn minimize(
     objective: &LinExpr,
 ) -> OptimizeOutcome {
     match maximize(num_vars, constraints, &objective.clone().scale(-1.0)) {
-        OptimizeOutcome::Optimal(value, assignment) => {
-            OptimizeOutcome::Optimal(-value, assignment)
-        }
+        OptimizeOutcome::Optimal(value, assignment) => OptimizeOutcome::Optimal(-value, assignment),
         other => other,
     }
 }

@@ -435,9 +435,11 @@ impl Simplex {
                     continue;
                 }
                 let can_help = if needs_increase {
-                    (coeff > 0.0 && self.can_increase(var)) || (coeff < 0.0 && self.can_decrease(var))
+                    (coeff > 0.0 && self.can_increase(var))
+                        || (coeff < 0.0 && self.can_decrease(var))
                 } else {
-                    (coeff > 0.0 && self.can_decrease(var)) || (coeff < 0.0 && self.can_increase(var))
+                    (coeff > 0.0 && self.can_decrease(var))
+                        || (coeff < 0.0 && self.can_increase(var))
                 };
                 if can_help {
                     pivot = Some(var);

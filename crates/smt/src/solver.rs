@@ -374,8 +374,12 @@ mod tests {
     fn equality_atoms_work_in_both_polarities() {
         let (pool, x, y) = pool2();
         let mut solver = SmtSolver::new(pool);
-        solver.assert(Formula::atom((LinExpr::var(x) + LinExpr::var(y)).eq_to(4.0)));
-        solver.assert(Formula::atom((LinExpr::var(x) - LinExpr::var(y)).eq_to(2.0)));
+        solver.assert(Formula::atom(
+            (LinExpr::var(x) + LinExpr::var(y)).eq_to(4.0),
+        ));
+        solver.assert(Formula::atom(
+            (LinExpr::var(x) - LinExpr::var(y)).eq_to(2.0),
+        ));
         let model = solver.check().unwrap().expect_sat();
         assert!((model.value(x) - 3.0).abs() < 1e-6);
         assert!((model.value(y) - 1.0).abs() < 1e-6);

@@ -1,57 +1,97 @@
 //! Property-based tests: the SMT solver's verdicts are cross-checked against
 //! direct evaluation of the formula on the produced model, and against a
-//! brute-force enumeration for interval problems with a known answer.
+//! brute-force closed form for interval and box problems with a known answer.
+//!
+//! `proptest` is not in the sanctioned offline crate set, so each property is
+//! checked over a deterministic stream of pseudo-random cases drawn from the
+//! workspace's shared [`cps_linalg::SplitMix64`] (seeded per test, so
+//! failures reproduce).
 
-use cps_smt::{Formula, LinExpr, OptimizeOutcome, SmtSolver, VarPool};
-use proptest::prelude::*;
+use cps_linalg::SplitMix64;
+use cps_smt::{Formula, LinExpr, OptimizeOutcome, SmtSolver, VarId, VarPool};
 
-/// Generates a random conjunction/disjunction tree over `num_vars` variables
-/// made of simple bound atoms `±x_i ⋈ c`.
-fn formula_strategy(num_vars: usize) -> impl Strategy<Value = Formula> {
-    let atom = (0..num_vars, -5.0f64..5.0, prop::bool::ANY, prop::bool::ANY).prop_map(
-        move |(var, bound, upper, strict)| {
-            let mut pool = VarPool::new();
-            let ids: Vec<_> = (0..num_vars).map(|i| pool.fresh(format!("x{i}"))).collect();
-            let expr = LinExpr::var(ids[var]);
-            let constraint = match (upper, strict) {
-                (true, false) => expr.le(bound),
-                (true, true) => expr.lt(bound),
-                (false, false) => expr.ge(bound),
-                (false, true) => expr.gt(bound),
-            };
-            Formula::atom(constraint)
-        },
-    );
-    atom.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
-            inner.prop_map(Formula::not),
-        ]
-    })
+const CASES: usize = 64;
+
+/// Deterministic case generator over the workspace's shared [`SplitMix64`].
+struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        self.rng.usize_below(n)
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range(lo, hi)
+    }
+
+    /// A simple bound atom `±x_i ⋈ c` over the given variables.
+    fn atom(&mut self, ids: &[VarId]) -> Formula {
+        let var = self.usize_below(ids.len());
+        let bound = self.range(-5.0, 5.0);
+        let expr = LinExpr::var(ids[var]);
+        let constraint = match (self.rng.bool(), self.rng.bool()) {
+            (true, false) => expr.le(bound),
+            (true, true) => expr.lt(bound),
+            (false, false) => expr.ge(bound),
+            (false, true) => expr.gt(bound),
+        };
+        Formula::atom(constraint)
+    }
+
+    /// A random conjunction/disjunction/negation tree over bound atoms, with
+    /// the given remaining recursion depth.
+    fn formula(&mut self, ids: &[VarId], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.atom(ids);
+        }
+        match self.usize_below(4) {
+            0 => {
+                let n = 1 + self.usize_below(3);
+                Formula::and((0..n).map(|_| self.formula(ids, depth - 1)).collect())
+            }
+            1 => {
+                let n = 1 + self.usize_below(3);
+                Formula::or((0..n).map(|_| self.formula(ids, depth - 1)).collect())
+            }
+            2 => Formula::not(self.formula(ids, depth - 1)),
+            _ => self.atom(ids),
+        }
+    }
+}
+
+/// A pool of `num_vars` variables `x0..` plus their ids (identical ids for
+/// identical `num_vars`, so formulas transfer between equally sized pools).
+fn pool_and_ids(num_vars: usize) -> (VarPool, Vec<VarId>) {
+    let mut pool = VarPool::new();
+    let ids = pool.fresh_block("x", num_vars);
+    (pool, ids)
 }
 
 fn fresh_pool(num_vars: usize) -> VarPool {
-    let mut pool = VarPool::new();
-    for i in 0..num_vars {
-        pool.fresh(format!("x{i}"));
-    }
-    pool
+    pool_and_ids(num_vars).0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whenever the solver answers SAT, the returned model must actually
-    /// satisfy the asserted formula.
-    #[test]
-    fn sat_models_satisfy_the_formula(formula in formula_strategy(3)) {
-        let pool = fresh_pool(3);
-        let mut solver = SmtSolver::new(pool);
+/// Whenever the solver answers SAT, the returned model must actually satisfy
+/// the asserted formula.
+#[test]
+fn sat_models_satisfy_the_formula() {
+    let mut g = Gen::new(0x5A7);
+    let (_, ids) = pool_and_ids(3);
+    for _ in 0..CASES {
+        let formula = g.formula(&ids, 3);
+        let mut solver = SmtSolver::new(fresh_pool(3));
         solver.assert(formula.clone());
         if let Ok(result) = solver.check() {
             if let Some(model) = result.model() {
-                prop_assert!(
+                assert!(
                     formula.holds(model.values()),
                     "model {:?} does not satisfy {formula}",
                     model.values()
@@ -59,10 +99,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// A formula and its negation can never both be unsatisfiable.
-    #[test]
-    fn formula_or_negation_is_sat(formula in formula_strategy(2)) {
+/// A formula and its negation can never both be unsatisfiable.
+#[test]
+fn formula_or_negation_is_sat() {
+    let mut g = Gen::new(0x9E6);
+    let (_, ids) = pool_and_ids(2);
+    for _ in 0..CASES {
+        let formula = g.formula(&ids, 3);
         let verdict = |f: Formula| {
             let mut solver = SmtSolver::new(fresh_pool(2));
             solver.assert(f);
@@ -71,17 +116,23 @@ proptest! {
         let direct = verdict(formula.clone());
         let negated = verdict(Formula::not(formula));
         if let (Ok(a), Ok(b)) = (direct, negated) {
-            prop_assert!(a || b, "both a formula and its negation reported unsat");
+            assert!(a || b, "both a formula and its negation reported unsat");
         }
     }
+}
 
-    /// Interval conjunctions have a known feasibility criterion: the largest
-    /// lower bound must not exceed the smallest upper bound.
-    #[test]
-    fn interval_conjunctions_match_closed_form(
-        lowers in prop::collection::vec(-10.0f64..10.0, 1..5),
-        uppers in prop::collection::vec(-10.0f64..10.0, 1..5),
-    ) {
+/// Interval conjunctions have a known feasibility criterion: the largest lower
+/// bound must not exceed the smallest upper bound.
+#[test]
+fn interval_conjunctions_match_closed_form() {
+    let mut g = Gen::new(0x17E);
+    for _ in 0..CASES {
+        let lowers: Vec<f64> = (0..1 + g.usize_below(4))
+            .map(|_| g.range(-10.0, 10.0))
+            .collect();
+        let uppers: Vec<f64> = (0..1 + g.usize_below(4))
+            .map(|_| g.range(-10.0, 10.0))
+            .collect();
         let mut pool = VarPool::new();
         let x = pool.fresh("x");
         let mut solver = SmtSolver::new(pool);
@@ -95,40 +146,43 @@ proptest! {
         let min_upper = uppers.iter().cloned().fold(f64::INFINITY, f64::min);
         let expected = max_lower <= min_upper + 1e-9;
         let got = solver.check().unwrap().is_sat();
-        prop_assert_eq!(got, expected, "lowers {:?} uppers {:?}", lowers, uppers);
+        assert_eq!(got, expected, "lowers {lowers:?} uppers {uppers:?}");
     }
+}
 
-    /// Optimisation over a box returns the analytic optimum of a linear
-    /// objective (the appropriate corner of the box).
-    #[test]
-    fn box_lp_optimum_matches_corner(
-        bounds in prop::collection::vec((-5.0f64..0.0, 0.0f64..5.0), 2..4),
-        coeffs in prop::collection::vec(-3.0f64..3.0, 2..4),
-    ) {
-        let n = bounds.len().min(coeffs.len());
+/// Optimisation over a box returns the analytic optimum of a linear objective
+/// (the appropriate corner of the box).
+#[test]
+fn box_lp_optimum_matches_corner() {
+    let mut g = Gen::new(0xB0C5);
+    for _ in 0..CASES {
+        let n = 2 + g.usize_below(2);
+        let bounds: Vec<(f64, f64)> = (0..n)
+            .map(|_| (g.range(-5.0, 0.0), g.range(0.0, 5.0)))
+            .collect();
+        let coeffs: Vec<f64> = (0..n).map(|_| g.range(-3.0, 3.0)).collect();
         let mut pool = VarPool::new();
         let vars: Vec<_> = (0..n).map(|i| pool.fresh(format!("x{i}"))).collect();
         let mut constraints = Vec::new();
-        for (i, (lo, hi)) in bounds.iter().take(n).enumerate() {
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
             constraints.push(LinExpr::var(vars[i]).ge(*lo));
             constraints.push(LinExpr::var(vars[i]).le(*hi));
         }
-        let objective = LinExpr::from_terms(
-            vars.iter().zip(coeffs.iter()).map(|(v, c)| (*v, *c)),
-            0.0,
-        );
+        let objective =
+            LinExpr::from_terms(vars.iter().zip(coeffs.iter()).map(|(v, c)| (*v, *c)), 0.0);
         let expected: f64 = bounds
             .iter()
-            .take(n)
             .zip(coeffs.iter())
             .map(|((lo, hi), c)| if *c >= 0.0 { c * hi } else { c * lo })
             .sum();
         match cps_smt::maximize(pool.len(), &constraints, &objective) {
             OptimizeOutcome::Optimal(value, _) => {
-                prop_assert!((value - expected).abs() < 1e-6,
-                    "expected {expected}, got {value}");
+                assert!(
+                    (value - expected).abs() < 1e-6,
+                    "expected {expected}, got {value}"
+                );
             }
-            other => prop_assert!(false, "expected optimum, got {:?}", other),
+            other => panic!("expected optimum, got {other:?}"),
         }
     }
 }

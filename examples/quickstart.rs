@@ -10,7 +10,10 @@ use secure_cps::{AttackSynthesizer, PivotSynthesizer, SynthesisConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a benchmark: a position-tracking loop with a spoofable sensor.
     let benchmark = cps_models::trajectory_tracking()?;
-    println!("benchmark: {} (horizon {})", benchmark.name, benchmark.horizon);
+    println!(
+        "benchmark: {} (horizon {})",
+        benchmark.name, benchmark.horizon
+    );
 
     // 2. Algorithm 1: is the loop attackable without a residue detector?
     let config = SynthesisConfig {
@@ -48,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. And Algorithm 1 certifies that no stealthy attack remains.
     let residual = synthesizer.synthesize(Some(&report.partial))?;
-    println!("stealthy attack under the new detector: {:?}", residual.map(|_| "found"));
+    println!(
+        "stealthy attack under the new detector: {:?}",
+        residual.map(|_| "found")
+    );
     Ok(())
 }

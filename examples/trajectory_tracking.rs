@@ -15,12 +15,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let no_noise = NoiseModel::none(plant.num_states(), plant.num_outputs());
 
     // Three rollouts: clean, noisy, attacked (Fig. 1a).
-    let clean = benchmark
-        .closed_loop
-        .simulate(&benchmark.initial_state, horizon, &no_noise, None, 0);
-    let noisy = benchmark
-        .closed_loop
-        .simulate(&benchmark.initial_state, horizon, &benchmark.noise, None, 1);
+    let clean =
+        benchmark
+            .closed_loop
+            .simulate(&benchmark.initial_state, horizon, &no_noise, None, 0);
+    let noisy = benchmark.closed_loop.simulate(
+        &benchmark.initial_state,
+        horizon,
+        &benchmark.noise,
+        None,
+        1,
+    );
     let synthesizer = AttackSynthesizer::new(&benchmark, SynthesisConfig::default());
     let attack = synthesizer
         .synthesize(None)?
@@ -78,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    for (name, spec) in [("small static th", small), ("large static Th", large), ("variable vth", variable)] {
+    for (name, spec) in [
+        ("small static th", small),
+        ("large static Th", large),
+        ("variable vth", variable),
+    ] {
         let detector = ThresholdDetector::new(spec, ResidueNorm::Linf);
         println!(
             "{name}: alarms on noise at {:?}, alarms on attack at {:?}",

@@ -1,16 +1,49 @@
-//! Umbrella crate for the `secure-cps` workspace.
+//! Umbrella crate for the `secure-cps` workspace — a Rust reproduction of
+//! *Koley et al., "Formal Synthesis of Monitoring and Detection Systems for
+//! Secure CPS Implementations" (DATE 2020)*.
 //!
-//! This package only hosts the workspace-level [examples](https://github.com/secure-cps)
-//! and integration tests; the functionality lives in the member crates and is
-//! re-exported here for convenience:
+//! This package hosts the workspace-level examples (`examples/`) and the
+//! end-to-end integration tests (`tests/`); the functionality lives in the
+//! member crates and is re-exported here for convenience:
 //!
-//! - [`cps_linalg`] — dense linear algebra substrate
-//! - [`cps_smt`] — QF-LRA SMT solver (Z3 substitute)
+//! - [`cps_linalg`] — dense linear algebra substrate,
+//! - [`cps_smt`] — QF-LRA SMT solver (the workspace's Z3 substitute),
 //! - [`cps_control`] — LTI plants, Kalman filter, LQR, closed-loop simulation
+//!   (the paper's §II system model),
 //! - [`cps_monitors`] — range/gradient/relation monitors with dead zone
-//! - [`cps_detectors`] — residue-based detectors and FAR evaluation
-//! - [`cps_models`] — benchmark closed-loop systems (VSC, trajectory tracking, ...)
-//! - [`secure_cps`] — attack-vector synthesis and variable-threshold synthesis
+//!   (`mdc`),
+//! - [`cps_detectors`] — residue-based detectors and FAR evaluation,
+//! - [`cps_models`] — benchmark closed-loop systems (VSC §IV, trajectory
+//!   tracking Fig. 1, ...),
+//! - [`secure_cps`] — attack-vector synthesis (Algorithm 1) and
+//!   variable-threshold synthesis (Algorithms 2–3).
+//!
+//! The lib target is named `secure_cps_workspace` because the core synthesis
+//! crate owns the `secure_cps` crate name; downstream code normally depends on
+//! the member crates directly (as the examples do) and uses this crate only
+//! when one dependency line for the whole stack is preferable.
+//!
+//! # Example
+//!
+//! ```
+//! use secure_cps_workspace::{control, core, models};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let benchmark = models::trajectory_tracking()?;
+//! let synthesizer =
+//!     core::AttackSynthesizer::new(&benchmark, core::SynthesisConfig::default());
+//! // Without a residue detector the tracking loop is attackable...
+//! let attack = synthesizer.synthesize(None)?.expect("attack exists");
+//! // ...and the stealthy attack drives the loop off its performance target.
+//! let final_state = attack.trace.states().last().unwrap();
+//! assert!(!benchmark.performance.satisfied_by(final_state));
+//! let _ = control::ResidueNorm::Linf;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use cps_control as control;
 pub use cps_detectors as detectors;

@@ -146,6 +146,9 @@ fn lp_ablation_agrees_with_smt_on_the_undefended_loop() {
     let lp_attack = lp.synthesize(None);
     let smt_attack = smt.synthesize(None).expect("query decided");
     if lp_attack.is_some() {
-        assert!(smt_attack.is_some(), "LP attacks must be a subset of SMT attacks");
+        assert!(
+            smt_attack.is_some(),
+            "LP attacks must be a subset of SMT attacks"
+        );
     }
 }
