@@ -1,9 +1,56 @@
-//! Ablation — full DPLL(T) attack synthesis (Algorithm 1) versus the
-//! LP-only under-approximation, on the trajectory-tracking benchmark.
+//! Ablation — the solver hot path, in two directions:
+//!
+//! 1. full DPLL(T) attack synthesis (Algorithm 1) versus the LP-only
+//!    under-approximation, on the trajectory-tracking benchmark;
+//! 2. the incremental sparse theory core (persistent simplex synced with the
+//!    SAT trail) versus the PR-1 from-scratch baseline that rebuilds the
+//!    tableau on every theory check, on the VSC dead-zone query where theory
+//!    churn dominates.
+//!
+//! Solver statistics (theory checks, pivots, simplex time) are printed for
+//! each configuration so speedups are attributable to the theory core rather
+//! than the SAT search.
 
-use cps_bench::{bench_config, print_row};
+use cps_bench::{bench_config, print_row, vsc_exact_config};
+use cps_smt::{SolverConfig, SolverStats};
 use criterion::{criterion_group, criterion_main, Criterion};
-use secure_cps::{AttackSynthesizer, LpAttackSynthesizer};
+use secure_cps::{AttackSynthesizer, LpAttackSynthesizer, SynthesisConfig};
+
+const VSC_ABLATION_HORIZON: usize = 12;
+
+fn stats_row(label: &str, stats: SolverStats) {
+    print_row(
+        "ablation",
+        &format!(
+            "{label}: theory_checks={}, theory_conflicts={}, pivots={}, rebuilds={}, \
+             simplex_time={:?}, decisions={}, conflicts={}",
+            stats.theory_checks,
+            stats.theory_conflicts,
+            stats.pivots,
+            stats.theory_rebuilds,
+            stats.simplex_time(),
+            stats.decisions,
+            stats.conflicts,
+        ),
+    );
+}
+
+fn vsc_ablation_config(incremental: bool) -> SynthesisConfig {
+    // The from-scratch baseline keeps PR-1's check cadence (one theory check
+    // per 32 decisions): a per-decision cadence only makes sense when checks
+    // are incremental, and pairing rebuild-per-check with it would handicap
+    // the baseline and overstate the incrementality speedup.
+    let partial_check_interval = if incremental { 1 } else { 32 };
+    SynthesisConfig {
+        horizon_override: Some(VSC_ABLATION_HORIZON),
+        solver: SolverConfig {
+            incremental_theory: incremental,
+            partial_check_interval,
+            ..SolverConfig::default()
+        },
+        ..vsc_exact_config()
+    }
+}
 
 fn regenerate() {
     let benchmark = cps_models::trajectory_tracking().expect("model builds");
@@ -20,6 +67,7 @@ fn regenerate() {
             lp_attack.is_some()
         ),
     );
+    stats_row("trajectory smt query", smt.last_solver_stats());
     if let (Some(smt_attack), Some(lp_attack)) = (&smt_attack, &lp_attack) {
         print_row(
             "ablation",
@@ -30,6 +78,24 @@ fn regenerate() {
             ),
         );
     }
+
+    // Theory-core ablation on the VSC exact dead-zone query.
+    let vsc = cps_models::vsc().expect("model builds");
+    for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
+        let synthesizer = AttackSynthesizer::new(&vsc, vsc_ablation_config(incremental));
+        let found = synthesizer
+            .synthesize(None)
+            .expect("query decided")
+            .is_some();
+        print_row(
+            "ablation",
+            &format!("vsc exact T={VSC_ABLATION_HORIZON} ({label}): attack_found={found}"),
+        );
+        stats_row(
+            &format!("vsc exact T={VSC_ABLATION_HORIZON} ({label})"),
+            synthesizer.last_solver_stats(),
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -38,12 +104,21 @@ fn bench(c: &mut Criterion) {
     let config = bench_config();
     let smt = AttackSynthesizer::new(&benchmark, config);
     let lp = LpAttackSynthesizer::new(&benchmark, config);
+    let vsc = cps_models::vsc().expect("model builds");
+    let vsc_incremental = AttackSynthesizer::new(&vsc, vsc_ablation_config(true));
+    let vsc_from_scratch = AttackSynthesizer::new(&vsc, vsc_ablation_config(false));
     let mut group = c.benchmark_group("solver_ablation");
     group.sample_size(10);
     group.bench_function("smt_attack_synthesis", |b| {
         b.iter(|| smt.synthesize(None).expect("query decided"))
     });
     group.bench_function("lp_attack_synthesis", |b| b.iter(|| lp.synthesize(None)));
+    group.bench_function("vsc_exact_incremental_simplex", |b| {
+        b.iter(|| vsc_incremental.synthesize(None).expect("query decided"))
+    });
+    group.bench_function("vsc_exact_from_scratch_simplex", |b| {
+        b.iter(|| vsc_from_scratch.synthesize(None).expect("query decided"))
+    });
     group.finish();
 }
 

@@ -2,7 +2,10 @@ use cps_control::{NoiseModel, ResidueNorm, SensorAttack, Trace};
 use cps_detectors::ThresholdSpec;
 use cps_linalg::Vector;
 use cps_models::Benchmark;
-use cps_smt::{CheckResult, Formula, LinExpr, SmtError, SmtSolver, SolverConfig};
+use cps_smt::{
+    BoolVarPool, CheckResult, Formula, LinExpr, SmtError, SmtSolver, SolverConfig, SolverStats,
+};
+use std::cell::Cell;
 
 use crate::UnrolledLoop;
 
@@ -11,10 +14,17 @@ use crate::UnrolledLoop;
 pub enum MonitorEncoding {
     /// Faithful encoding of the dead-zone semantics: the attacker may violate
     /// monitor checks as long as no `dead_zone` consecutive instants are
-    /// violating. Exact but combinatorial — practical up to horizons of a
-    /// dozen samples with the built-in solver.
+    /// violating. Uses the `O(T·k)` sequential-counter construction
+    /// ([`cps_monitors::MonitorSuite::encode_stealth_counter`]), which scales
+    /// to the paper's 50-sample VSC horizon.
     #[default]
     Exact,
+    /// The pre-sequential-counter exact encoding: one enumerated window of
+    /// `dead_zone` alternatives per instant, each cloning the per-step
+    /// monitor formulas. Same semantics as [`MonitorEncoding::Exact`] but
+    /// combinatorial — kept as a differential-testing and ablation baseline;
+    /// practical up to horizons of a dozen samples.
+    ExactNaive,
     /// Conjunctive under-approximation of the attacker: monitor checks must
     /// hold at *every* instant from the given start index onwards (the prefix
     /// is left unconstrained so the loop's own startup transient is not
@@ -53,6 +63,15 @@ pub struct SynthesisConfig {
     pub convergence_margin: f64,
     /// How the plant monitors are encoded (see [`MonitorEncoding`]).
     pub monitor_encoding: MonitorEncoding,
+    /// Robustness margin by which monitor-OK constraints are shrunk in the
+    /// symbolic encoding. The solver parks models exactly on constraint
+    /// boundaries; re-simulating such an attack reproduces measurements only
+    /// up to float round-off (~1e-12), which can flip an on-the-bound instant
+    /// into a runtime violation. The default `1e-6` keeps every
+    /// symbolically-OK instant robustly OK at runtime while staying far below
+    /// model fidelity; `UNSAT` certificates then cover attackers that keep
+    /// this clearance.
+    pub monitor_margin: f64,
 }
 
 impl Default for SynthesisConfig {
@@ -63,6 +82,7 @@ impl Default for SynthesisConfig {
             horizon_override: None,
             convergence_margin: 0.05,
             monitor_encoding: MonitorEncoding::Exact,
+            monitor_margin: 1e-6,
         }
     }
 }
@@ -114,6 +134,8 @@ pub struct AttackSynthesizer<'a> {
     benchmark: &'a Benchmark,
     config: SynthesisConfig,
     unrolled: UnrolledLoop,
+    /// Statistics of the most recent solver call (for perf attribution).
+    last_stats: Cell<SolverStats>,
 }
 
 impl<'a> AttackSynthesizer<'a> {
@@ -126,7 +148,15 @@ impl<'a> AttackSynthesizer<'a> {
             benchmark,
             config,
             unrolled,
+            last_stats: Cell::new(SolverStats::default()),
         }
+    }
+
+    /// Solver statistics (theory checks, pivots, simplex time, …) of the most
+    /// recent [`AttackSynthesizer::synthesize`] call, for perf attribution in
+    /// benches and ablations.
+    pub fn last_solver_stats(&self) -> SolverStats {
+        self.last_stats.get()
     }
 
     /// The analysis horizon actually used.
@@ -185,13 +215,30 @@ impl<'a> AttackSynthesizer<'a> {
 
         // Monitor stealth (mdc): the plant monitors never raise an alarm.
         let symbols = self.unrolled.measurement_symbols();
+        let mut bools = BoolVarPool::new();
+        let margin = self.config.monitor_margin;
         match self.config.monitor_encoding {
             MonitorEncoding::Exact => {
-                assertions.push(self.benchmark.monitors.encode_stealth(&symbols));
+                assertions.push(
+                    self.benchmark
+                        .monitors
+                        .encode_stealth_counter(&symbols, &mut bools, margin),
+                );
+            }
+            MonitorEncoding::ExactNaive => {
+                assertions.push(
+                    self.benchmark
+                        .monitors
+                        .encode_stealth_margin(&symbols, margin),
+                );
             }
             MonitorEncoding::ConjunctiveAfter(start) => {
                 for k in start.min(horizon)..horizon {
-                    assertions.push(self.benchmark.monitors.encode_ok_at(k, &symbols));
+                    assertions.push(
+                        self.benchmark
+                            .monitors
+                            .encode_ok_at_margin(k, &symbols, margin),
+                    );
                 }
             }
         }
@@ -216,7 +263,9 @@ impl<'a> AttackSynthesizer<'a> {
         let mut solver = SmtSolver::with_config(self.unrolled.vars_cloned(), self.config.solver);
         solver.assert(Formula::and(assertions));
 
-        match solver.check()? {
+        let outcome = solver.check();
+        self.last_stats.set(solver.stats());
+        match outcome? {
             CheckResult::Unsat => Ok(None),
             CheckResult::Sat(model) => {
                 let attack = self.attack_from_model(model.values());

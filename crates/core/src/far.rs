@@ -1,3 +1,6 @@
+use std::num::NonZeroUsize;
+use std::thread;
+
 use cps_control::Trace;
 use cps_detectors::{false_alarm_rate, Detector};
 use cps_models::Benchmark;
@@ -6,11 +9,19 @@ use cps_models::Benchmark;
 /// rollouts, keep those that satisfy the performance criterion and pass the
 /// plant monitors (`mdc`), then measure how often each residue detector
 /// alarms on the kept, attack-free traces.
+///
+/// Rollouts are embarrassingly parallel and fan out across a
+/// [`std::thread::scope`] worker pool sized to the machine (override with
+/// [`FarExperiment::with_parallelism`]). Each trial's noise stream is seeded
+/// by `seed + trial` exactly as in the sequential implementation and results
+/// are collected in trial order, so reports are **bit-identical** regardless
+/// of the worker count.
 #[derive(Debug)]
 pub struct FarExperiment<'a> {
     benchmark: &'a Benchmark,
     num_trials: usize,
     seed: u64,
+    parallelism: Option<usize>,
 }
 
 /// Result of a [`FarExperiment`] run.
@@ -22,12 +33,18 @@ pub struct FarReport {
     pub kept: usize,
     /// Number of rollouts discarded by the filter.
     pub discarded: usize,
-    /// `(detector name, false-alarm rate over the kept rollouts)`.
+    /// `(detector name, false-alarm rate over the kept rollouts)`, in the
+    /// order the detectors were passed to [`FarExperiment::run`].
     pub rates: Vec<(String, f64)>,
 }
 
 impl FarReport {
     /// The false-alarm rate of a named detector, if present.
+    ///
+    /// Rates are stored in insertion order (the order the detectors were
+    /// passed to [`FarExperiment::run`]); if several detectors share a name,
+    /// the first one wins. Iterate [`FarReport::rates`] directly to see every
+    /// entry.
     pub fn rate_of(&self, name: &str) -> Option<f64> {
         self.rates
             .iter()
@@ -44,36 +61,76 @@ impl<'a> FarExperiment<'a> {
             benchmark,
             num_trials,
             seed,
+            parallelism: None,
         }
     }
 
+    /// Overrides the rollout worker count (default: all available cores).
+    /// `1` forces the sequential path; used by the bit-identity tests.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Number of rollout workers the experiment will use.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Simulates trial `trial` and applies the pfc / monitor filter.
+    ///
+    /// The paper samples noise "from a suitably small range such that pfc is
+    /// maintained" and then discards rollouts flagged by `mdc`.
+    fn rollout(&self, trial: usize) -> Option<Trace> {
+        let trace = self.benchmark.closed_loop.simulate(
+            &self.benchmark.initial_state,
+            self.benchmark.horizon,
+            &self.benchmark.noise,
+            None,
+            self.seed.wrapping_add(trial as u64),
+        );
+        let pfc_ok = self
+            .benchmark
+            .performance
+            .satisfied_by(trace.states().last().expect("non-empty trace"));
+        let mdc_quiet = !self
+            .benchmark
+            .monitors
+            .evaluate(trace.measurements())
+            .alarmed();
+        (pfc_ok && mdc_quiet).then_some(trace)
+    }
+
     /// Generates the filtered population of attack-free noisy traces.
+    ///
+    /// Trials fan out over the worker pool; the kept traces come back in
+    /// trial order, so the result is identical to a sequential run.
     pub fn noise_traces(&self) -> Vec<Trace> {
-        let mut kept = Vec::new();
-        for trial in 0..self.num_trials {
-            let trace = self.benchmark.closed_loop.simulate(
-                &self.benchmark.initial_state,
-                self.benchmark.horizon,
-                &self.benchmark.noise,
-                None,
-                self.seed.wrapping_add(trial as u64),
-            );
-            // The paper samples noise "from a suitably small range such that
-            // pfc is maintained" and then discards rollouts flagged by mdc.
-            let pfc_ok = self
-                .benchmark
-                .performance
-                .satisfied_by(trace.states().last().expect("non-empty trace"));
-            let mdc_quiet = !self
-                .benchmark
-                .monitors
-                .evaluate(trace.measurements())
-                .alarmed();
-            if pfc_ok && mdc_quiet {
-                kept.push(trace);
+        let workers = self.parallelism().min(self.num_trials.max(1));
+        let mut slots: Vec<Option<Trace>> = Vec::new();
+        slots.resize_with(self.num_trials, || None);
+        if workers <= 1 {
+            for (trial, slot) in slots.iter_mut().enumerate() {
+                *slot = self.rollout(trial);
             }
+        } else {
+            let chunk = self.num_trials.div_ceil(workers);
+            thread::scope(|scope| {
+                for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let base = w * chunk;
+                    scope.spawn(move || {
+                        for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = self.rollout(base + i);
+                        }
+                    });
+                }
+            });
         }
-        kept
+        slots.into_iter().flatten().collect()
     }
 
     /// Runs the experiment against a set of named detectors.
@@ -133,5 +190,58 @@ mod tests {
         assert!(tight_rate > 0.9, "a near-zero threshold alarms on noise");
         assert!(loose_rate < 0.1, "a huge threshold rarely alarms on noise");
         assert_eq!(report.rate_of("missing"), None);
+    }
+
+    #[test]
+    fn parallel_rollouts_are_bit_identical_to_sequential() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let horizon = benchmark.horizon;
+        let detector =
+            ThresholdDetector::new(ThresholdSpec::constant(0.05, horizon), ResidueNorm::Linf);
+        let sequential = FarExperiment::new(&benchmark, 64, 42).with_parallelism(1);
+        let report_seq = sequential.run(&[("th", &detector as &dyn Detector)]);
+        for workers in [2, 3, 8] {
+            let parallel = FarExperiment::new(&benchmark, 64, 42).with_parallelism(workers);
+            assert_eq!(parallel.parallelism(), workers);
+            let report_par = parallel.run(&[("th", &detector as &dyn Detector)]);
+            assert_eq!(
+                report_seq, report_par,
+                "{workers}-worker report differs from sequential"
+            );
+            // Trace-level identity, not just aggregate rates.
+            let traces_seq = sequential.noise_traces();
+            let traces_par = parallel.noise_traces();
+            assert_eq!(traces_seq.len(), traces_par.len());
+            for (a, b) in traces_seq.iter().zip(traces_par.iter()) {
+                assert_eq!(a.measurements(), b.measurements());
+                assert_eq!(a.residues(), b.residues());
+            }
+        }
+    }
+
+    #[test]
+    fn default_parallelism_uses_available_cores() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let experiment = FarExperiment::new(&benchmark, 10, 3);
+        assert!(experiment.parallelism() >= 1);
+        // More workers than trials must not panic or drop trials.
+        let wide = FarExperiment::new(&benchmark, 3, 3).with_parallelism(64);
+        assert_eq!(wide.run(&[]).generated, 3);
+    }
+
+    #[test]
+    fn rate_of_returns_first_entry_for_duplicate_names() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let horizon = benchmark.horizon;
+        let tight =
+            ThresholdDetector::new(ThresholdSpec::constant(1e-4, horizon), ResidueNorm::Linf);
+        let loose =
+            ThresholdDetector::new(ThresholdSpec::constant(1.0, horizon), ResidueNorm::Linf);
+        let experiment = FarExperiment::new(&benchmark, 40, 5);
+        let report = experiment.run(&[("dup", &tight as &dyn Detector), ("dup", &loose)]);
+        assert_eq!(report.rates.len(), 2, "duplicates are all reported");
+        // Insertion order: rate_of resolves to the first (tight) detector.
+        assert_eq!(report.rate_of("dup"), Some(report.rates[0].1));
+        assert!(report.rates[0].1 >= report.rates[1].1);
     }
 }

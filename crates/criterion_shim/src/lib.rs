@@ -137,14 +137,18 @@ impl BenchmarkGroup<'_> {
         times.sort_unstable();
         let median = times[times.len() / 2];
         let (lo, hi) = (times[0], times[times.len() - 1]);
+        // The `[median_ns=…]` suffix is machine-readable: it is what
+        // `scripts/bench_snapshot.sh` greps into `BENCH_*.json` to track the
+        // perf trajectory across PRs. Keep its format stable.
         println!(
-            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples)",
+            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples) [median_ns={}]",
             self.name,
             id,
             median,
             lo,
             hi,
-            times.len()
+            times.len(),
+            median.as_nanos()
         );
         self
     }

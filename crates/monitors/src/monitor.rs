@@ -158,12 +158,36 @@ impl Monitor {
     /// measurement expressions that is true exactly when the monitor is
     /// satisfied at step `k`.
     pub fn encode_ok_at(&self, k: usize, symbols: &MeasurementSymbols, ts: f64) -> Formula {
+        self.encode_ok_at_margin(k, symbols, ts, 0.0)
+    }
+
+    /// Like [`Monitor::encode_ok_at`] but with every admissible interval
+    /// shrunk by `margin` on each side.
+    ///
+    /// A linear-arithmetic solver parks satisfying assignments exactly on
+    /// constraint boundaries; re-simulating such a model reproduces the
+    /// monitored values only up to float round-off, which can push an
+    /// exactly-on-the-bound instant across it at runtime. A small positive
+    /// margin (well above round-off, well below model fidelity — the attack
+    /// synthesiser uses `1e-6`) makes every symbolically-OK instant robustly
+    /// OK under [`Monitor::ok_at`]. A margin larger than half the monitor's
+    /// admissible width is clamped so the shrunk interval never inverts
+    /// (i.e. the encoding degrades to "exactly on the interval midpoint"
+    /// rather than silently becoming unsatisfiable).
+    pub fn encode_ok_at_margin(
+        &self,
+        k: usize,
+        symbols: &MeasurementSymbols,
+        ts: f64,
+        margin: f64,
+    ) -> Formula {
         match self {
             Monitor::Range(m) => {
+                let margin = margin.min((m.upper - m.lower) / 2.0);
                 let y = symbols.measurement(k, m.signal);
                 Formula::and(vec![
-                    Formula::atom(y.clone().ge(m.lower)),
-                    Formula::atom(y.le(m.upper)),
+                    Formula::atom(y.clone().ge(m.lower + margin)),
+                    Formula::atom(y.le(m.upper - margin)),
                 ])
             }
             Monitor::Gradient(m) => {
@@ -172,7 +196,7 @@ impl Monitor {
                 } else {
                     let diff =
                         symbols.measurement(k, m.signal) - symbols.measurement(k - 1, m.signal);
-                    let bound = m.max_rate * ts;
+                    let bound = (m.max_rate * ts - margin).max(0.0);
                     Formula::and(vec![
                         Formula::atom(diff.clone().le(bound)),
                         Formula::atom(diff.ge(-bound)),
@@ -182,9 +206,10 @@ impl Monitor {
             Monitor::Relation(m) => {
                 let diff = symbols.measurement(k, m.signal_a)
                     - symbols.measurement(k, m.signal_b).scale(m.coeff_b);
+                let bound = (m.allowed_diff - margin).max(0.0);
                 Formula::and(vec![
-                    Formula::atom(diff.clone().le(m.allowed_diff)),
-                    Formula::atom(diff.ge(-m.allowed_diff)),
+                    Formula::atom(diff.clone().le(bound)),
+                    Formula::atom(diff.ge(-bound)),
                 ])
             }
         }

@@ -1,5 +1,5 @@
 use cps_linalg::Vector;
-use cps_smt::Formula;
+use cps_smt::{BoolVarPool, Formula};
 
 use crate::{MeasurementSymbols, Monitor};
 
@@ -110,10 +110,22 @@ impl MonitorSuite {
 
     /// Symbolic "no violation at step `k`" formula.
     pub fn encode_ok_at(&self, k: usize, symbols: &MeasurementSymbols) -> Formula {
+        self.encode_ok_at_margin(k, symbols, 0.0)
+    }
+
+    /// Symbolic "no violation at step `k`" formula with every monitor's
+    /// admissible interval shrunk by `margin` (see
+    /// [`Monitor::encode_ok_at_margin`] for why synthesis queries need one).
+    pub fn encode_ok_at_margin(
+        &self,
+        k: usize,
+        symbols: &MeasurementSymbols,
+        margin: f64,
+    ) -> Formula {
         Formula::and(
             self.monitors
                 .iter()
-                .map(|m| m.encode_ok_at(k, symbols, self.sampling_period))
+                .map(|m| m.encode_ok_at_margin(k, symbols, self.sampling_period, margin))
                 .collect(),
         )
     }
@@ -122,8 +134,23 @@ impl MonitorSuite {
     /// system never raises an alarm, i.e. in every window of `dead_zone`
     /// consecutive instants at least one instant is violation-free.
     ///
+    /// This is the *naive window enumeration*: every per-step "ok" formula is
+    /// cloned into each of the `dead_zone` windows covering it, so the
+    /// encoding grows as `O(T·d·m)` duplicated sub-formulas and leaves the
+    /// solver to rediscover the shared structure window by window. It is kept
+    /// as the executable reference semantics (it is evaluable with
+    /// [`Formula::holds`]) and as the differential-testing baseline for
+    /// [`MonitorSuite::encode_stealth_counter`], which scales to the paper's
+    /// 50-sample horizons.
+    ///
     /// With an empty suite this is simply `true`.
     pub fn encode_stealth(&self, symbols: &MeasurementSymbols) -> Formula {
+        self.encode_stealth_margin(symbols, 0.0)
+    }
+
+    /// [`MonitorSuite::encode_stealth`] with a robustness `margin` applied to
+    /// every monitor interval (see [`Monitor::encode_ok_at_margin`]).
+    pub fn encode_stealth_margin(&self, symbols: &MeasurementSymbols, margin: f64) -> Formula {
         if self.monitors.is_empty() {
             return Formula::True;
         }
@@ -132,7 +159,7 @@ impl MonitorSuite {
             return Formula::True;
         }
         let ok: Vec<Formula> = (0..horizon)
-            .map(|k| self.encode_ok_at(k, symbols))
+            .map(|k| self.encode_ok_at_margin(k, symbols, margin))
             .collect();
         let mut windows = Vec::new();
         for start in 0..=(horizon - self.dead_zone) {
@@ -143,6 +170,87 @@ impl MonitorSuite {
             ));
         }
         Formula::and(windows)
+    }
+
+    /// Sequential-counter (unary running-count) encoding of the same
+    /// stealthiness constraint as [`MonitorSuite::encode_stealth`]:
+    /// equisatisfiable, but sized `O(T·d)` with every per-step "ok" formula
+    /// encoded exactly once.
+    ///
+    /// For each instant `k` a fresh propositional variable `v_k` is forced
+    /// true whenever some monitor check fails (`¬ok_k → v_k`), and unary
+    /// run-length registers `r_{k,j}` ("the violation run ending at `k` has
+    /// length ≥ j") accumulate via `v_k ∧ r_{k−1,j−1} → r_{k,j}`; a run
+    /// reaching the dead-zone length `d` is forbidden by the clause
+    /// `¬v_k ∨ ¬r_{k−1,d−1}`. All implications point upward only: a model may
+    /// set registers spuriously high, which never *enables* anything, so a
+    /// satisfying assignment exists iff one with exact counts exists — i.e.
+    /// iff the attacker has a trace on which the monitors never alarm.
+    ///
+    /// Fresh propositional variables are drawn from `bools`; use one pool per
+    /// solver instance. `margin` shrinks every monitor interval as in
+    /// [`Monitor::encode_ok_at_margin`] (pass `0.0` for the exact bounds).
+    pub fn encode_stealth_counter(
+        &self,
+        symbols: &MeasurementSymbols,
+        bools: &mut BoolVarPool,
+        margin: f64,
+    ) -> Formula {
+        if self.monitors.is_empty() {
+            return Formula::True;
+        }
+        let horizon = symbols.len();
+        let d = self.dead_zone;
+        if horizon < d {
+            return Formula::True;
+        }
+        if d == 1 {
+            // No debouncing: every instant must be violation-free.
+            return Formula::and(
+                (0..horizon)
+                    .map(|k| self.encode_ok_at_margin(k, symbols, margin))
+                    .collect(),
+            );
+        }
+        let mut parts = Vec::with_capacity(horizon * (d + 1));
+        // v_k ⇐ "some monitor check fails at instant k".
+        let viol: Vec<u32> = (0..horizon).map(|_| bools.fresh()).collect();
+        for (k, &v) in viol.iter().enumerate() {
+            parts.push(Formula::or(vec![
+                self.encode_ok_at_margin(k, symbols, margin),
+                Formula::BoolVar(v),
+            ]));
+        }
+        // Unary run-length registers; `prev[j]` is r_{k-1, j+1}. A run ending
+        // at step k is at most k+1 long, so only min(d−1, k+1) registers are
+        // materialised per step.
+        let mut prev: Vec<u32> = Vec::new();
+        for (k, &v) in viol.iter().enumerate() {
+            let mut cur = Vec::with_capacity((d - 1).min(k + 1));
+            let r1 = bools.fresh();
+            parts.push(Formula::or(vec![
+                Formula::not(Formula::BoolVar(v)),
+                Formula::BoolVar(r1),
+            ]));
+            cur.push(r1);
+            for j in 1..(d - 1).min(k + 1) {
+                let r = bools.fresh();
+                parts.push(Formula::or(vec![
+                    Formula::not(Formula::BoolVar(v)),
+                    Formula::not(Formula::BoolVar(prev[j - 1])),
+                    Formula::BoolVar(r),
+                ]));
+                cur.push(r);
+            }
+            if prev.len() >= d - 1 {
+                parts.push(Formula::or(vec![
+                    Formula::not(Formula::BoolVar(v)),
+                    Formula::not(Formula::BoolVar(prev[d - 2])),
+                ]));
+            }
+            prev = cur;
+        }
+        Formula::and(parts)
     }
 }
 

@@ -33,12 +33,62 @@ pub enum Formula {
     False,
     /// An atomic linear constraint.
     Atom(Constraint),
+    /// A free propositional variable (allocated from a [`BoolVarPool`]), used
+    /// by auxiliary-variable encodings such as the sequential-counter
+    /// dead-zone constraint. Purely Boolean: it carries no theory content.
+    BoolVar(u32),
     /// Negation.
     Not(Box<Formula>),
     /// Conjunction of zero or more formulas (empty conjunction is `true`).
     And(Vec<Formula>),
     /// Disjunction of zero or more formulas (empty disjunction is `false`).
     Or(Vec<Formula>),
+}
+
+/// Allocator of free propositional variables for [`Formula::BoolVar`].
+///
+/// Use one pool per solver instance so identifiers never collide between
+/// independently built sub-encodings.
+///
+/// # Example
+///
+/// ```
+/// use cps_smt::{BoolVarPool, Formula};
+///
+/// let mut bools = BoolVarPool::new();
+/// let a = bools.fresh();
+/// let b = bools.fresh();
+/// assert_ne!(a, b);
+/// let f = Formula::or(vec![Formula::BoolVar(a), Formula::BoolVar(b)]);
+/// assert_eq!(f.atom_count(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BoolVarPool {
+    next: u32,
+}
+
+impl BoolVarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh propositional variable identifier.
+    pub fn fresh(&mut self) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Number of identifiers allocated so far.
+    pub fn len(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Returns `true` when no identifier has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
 }
 
 impl Formula {
@@ -109,9 +159,10 @@ impl Formula {
     }
 
     /// Number of atomic constraints in the formula (with multiplicity).
+    /// [`Formula::BoolVar`]s carry no theory atom and count zero.
     pub fn atom_count(&self) -> usize {
         match self {
-            Formula::True | Formula::False => 0,
+            Formula::True | Formula::False | Formula::BoolVar(_) => 0,
             Formula::Atom(_) => 1,
             Formula::Not(inner) => inner.atom_count(),
             Formula::And(parts) | Formula::Or(parts) => parts.iter().map(Formula::atom_count).sum(),
@@ -123,12 +174,17 @@ impl Formula {
     /// # Panics
     ///
     /// Panics if the assignment is shorter than the largest variable index
-    /// used by any atom.
+    /// used by any atom, or if the formula contains a [`Formula::BoolVar`]
+    /// (free propositional variables have no value under a real assignment —
+    /// decide such formulas with [`SmtSolver`](crate::SmtSolver) instead).
     pub fn holds(&self, assignment: &[f64]) -> bool {
         match self {
             Formula::True => true,
             Formula::False => false,
             Formula::Atom(c) => c.holds(assignment),
+            Formula::BoolVar(id) => {
+                panic!("free propositional variable b{id} has no value under a real assignment")
+            }
             Formula::Not(inner) => !inner.holds(assignment),
             Formula::And(parts) => parts.iter().all(|p| p.holds(assignment)),
             Formula::Or(parts) => parts.iter().any(|p| p.holds(assignment)),
@@ -142,6 +198,7 @@ impl fmt::Display for Formula {
             Formula::True => write!(f, "true"),
             Formula::False => write!(f, "false"),
             Formula::Atom(c) => write!(f, "({c})"),
+            Formula::BoolVar(id) => write!(f, "b{id}"),
             Formula::Not(inner) => write!(f, "¬{inner}"),
             Formula::And(parts) => {
                 write!(f, "(")?;

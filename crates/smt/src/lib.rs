@@ -14,15 +14,44 @@
 //! # Architecture
 //!
 //! - [`LinExpr`] / [`Constraint`] — linear expressions and atomic constraints,
-//! - [`Formula`] — Boolean combinations of constraints,
+//! - [`Formula`] — Boolean combinations of constraints, plus free
+//!   propositional variables ([`Formula::BoolVar`], allocated from a
+//!   [`BoolVarPool`]) for auxiliary-variable encodings such as the
+//!   sequential-counter dead-zone constraint,
 //! - [`tseitin`] — conversion to CNF over fresh Boolean variables,
 //! - [`sat`] — a CDCL SAT core (watched literals, first-UIP learning, VSIDS),
-//! - [`simplex`] — the general simplex theory solver of Dutertre & de Moura,
-//!   with infinitesimal (δ) handling for strict inequalities and
-//!   infeasibility explanations,
+//! - [`simplex`] — the **incremental sparse** general simplex theory solver
+//!   of Dutertre & de Moura, with infinitesimal (δ) handling for strict
+//!   inequalities and infeasibility explanations,
 //! - [`SmtSolver`] — the lazy DPLL(T) loop tying the pieces together,
 //! - [`optimize`] — a simplex-based linear optimiser over conjunctions of
 //!   constraints (used for the LP-only attack-synthesis ablation).
+//!
+//! # Incremental theory integration
+//!
+//! The theory side follows the incremental discipline of Dutertre & de Moura
+//! ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV 2006):
+//!
+//! - one persistent [`simplex::Simplex`] per [`SmtSolver::check`] call owns a
+//!   sparse tableau whose rows are built **once** per distinct constraint
+//!   expression (slack rows are shared across atoms over the same left-hand
+//!   side);
+//! - asserting a theory literal installs a variable *bound*
+//!   ([`simplex::Simplex::assert_bound`]); SAT backtracking retracts bounds by
+//!   popping a trail ([`simplex::Simplex::pop_to`]) — the basis and the
+//!   current assignment stay put, so each re-solve starts warm and typically
+//!   needs a handful of pivots;
+//! - the solver keeps the simplex in lock-step with the SAT trail via trail
+//!   positions and a low-water mark (only literals assigned since the last
+//!   check are processed);
+//! - numerical hygiene: pivot arithmetic accumulates float error (there is no
+//!   refactorisation), so consistent verdicts are validated against the
+//!   original constraint expressions and the tableau is rebuilt from scratch
+//!   when a re-solve diverges or the cumulative pivot count grows large.
+//!
+//! [`SolverConfig::incremental_theory`] switches back to the from-scratch
+//! behaviour (a fresh tableau per theory check) as an ablation baseline; the
+//! `solver_ablation` bench reports both.
 //!
 //! # Example
 //!
@@ -64,6 +93,6 @@ pub mod tseitin;
 
 pub use constraint::{Constraint, RelOp};
 pub use expr::{LinExpr, VarId, VarPool};
-pub use formula::Formula;
+pub use formula::{BoolVarPool, Formula};
 pub use optimize::{maximize, minimize, OptimizeOutcome};
 pub use solver::{CheckResult, Model, SmtError, SmtSolver, SolverConfig, SolverStats};

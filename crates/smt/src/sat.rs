@@ -20,6 +20,11 @@ impl Lit {
         Lit((var as u32) << 1 | u32::from(!positive))
     }
 
+    /// Reconstructs a literal from its dense [`Lit::index`] encoding.
+    pub fn from_index(index: usize) -> Self {
+        Lit(index as u32)
+    }
+
     /// The variable index of the literal.
     pub fn var(self) -> usize {
         (self.0 >> 1) as usize
@@ -97,6 +102,11 @@ pub struct SatSolver {
     reason: Vec<Option<usize>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
+    /// Minimum trail length reached since the last
+    /// [`SatSolver::reset_trail_low_water`]: everything at or above this
+    /// index was truncated at some point, even if the trail has regrown past
+    /// it since.
+    trail_low_water: usize,
     propagate_head: usize,
     activity: Vec<f64>,
     activity_inc: f64,
@@ -119,6 +129,7 @@ impl SatSolver {
             reason: vec![None; num_vars],
             trail: Vec::new(),
             trail_lim: Vec::new(),
+            trail_low_water: 0,
             propagate_head: 0,
             activity: vec![0.0; num_vars],
             activity_inc: 1.0,
@@ -182,6 +193,28 @@ impl SatSolver {
     /// Returns `true` when every variable is assigned.
     pub fn all_assigned(&self) -> bool {
         self.trail.len() == self.num_vars
+    }
+
+    /// The assignment trail in chronological order. Backtracking only ever
+    /// truncates the trail, so a prefix that matched earlier still matches —
+    /// the property the incremental theory synchronisation relies on.
+    pub fn trail(&self) -> &[Lit] {
+        &self.trail
+    }
+
+    /// Smallest trail length reached since the last
+    /// [`SatSolver::reset_trail_low_water`] call. Trail entries below this
+    /// index are guaranteed unchanged since then; entries at or above it may
+    /// have been truncated and regrown (possibly with identical literals), so
+    /// an incremental theory must re-process them.
+    pub fn trail_low_water(&self) -> usize {
+        self.trail_low_water
+    }
+
+    /// Marks the current trail as fully observed: the low-water mark restarts
+    /// at the current trail length.
+    pub fn reset_trail_low_water(&mut self) {
+        self.trail_low_water = self.trail.len();
     }
 
     /// Adds a clause. Duplicate literals are removed; tautologies are ignored.
@@ -343,6 +376,7 @@ impl SatSolver {
             self.reason[lit.var()] = None;
         }
         self.trail_lim.truncate(target_level);
+        self.trail_low_water = self.trail_low_water.min(self.trail.len());
         self.propagate_head = self.trail.len();
     }
 

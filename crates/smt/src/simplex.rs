@@ -1,21 +1,56 @@
 //! General simplex theory solver for conjunctions of linear constraints.
 //!
 //! This module implements the *general simplex* algorithm of Dutertre and
-//! de Moura ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV 2006) in the
-//! non-incremental form used by the lazy DPLL(T) loop in
-//! [`SmtSolver`](crate::SmtSolver): a fresh tableau is built per theory check
-//! from the currently asserted atoms. Strict inequalities are handled with
-//! symbolic infinitesimals ([`Delta`]), and infeasibility produces an
-//! *explanation* — the subset of asserted constraints participating in the
-//! conflicting bound configuration — which becomes a learned clause.
+//! de Moura ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV 2006) in its
+//! **incremental** form: a [`Simplex`] instance owns a persistent sparse
+//! tableau whose rows are built once per constraint expression
+//! ([`Simplex::define`]) and never rebuilt. Asserting a constraint only
+//! installs a variable bound ([`Simplex::assert_bound`]); retracting is a
+//! constant-time pop of a bound trail ([`Simplex::mark`] /
+//! [`Simplex::pop_to`]) that leaves the basis and the current assignment in
+//! place — exactly the backtracking discipline the lazy DPLL(T) loop in
+//! [`SmtSolver`](crate::SmtSolver) needs to stay in lock-step with the SAT
+//! trail.
+//!
+//! Tableau rows are stored sparsely (sorted index/value pairs with
+//! merge-based pivoting) because the unrolled CPS encodings this workspace
+//! produces are overwhelmingly sparse; a lazily-compacted column index maps
+//! each variable to the rows that mention it so pivots and assignment
+//! updates touch only the affected rows.
+//!
+//! Strict inequalities are handled with symbolic infinitesimals ([`Delta`]),
+//! and infeasibility produces an *explanation* — the tags of the asserted
+//! constraints participating in the conflicting bound configuration — which
+//! becomes a learned clause in the DPLL(T) loop.
+//!
+//! The non-incremental entry points of the original implementation,
+//! [`Simplex::check`] and [`Simplex::check_and_maximize`], are kept as thin
+//! wrappers (build + assert + solve) for one-shot feasibility and LP queries.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::{Constraint, LinExpr, RelOp};
 
 /// Comparison tolerance on the real part of a [`Delta`] value.
 const REAL_EPS: f64 = 1e-11;
+
+/// Row entries with magnitude at or below this threshold are treated as the
+/// cancellation residue of pivot arithmetic and dropped. Trade-off: sitting
+/// 10× above [`LinExpr`]'s 1e-12 construction floor filters residue
+/// reliably, but a *genuine* merged coefficient landing in (1e-12, 1e-11]
+/// is dropped too, perturbing that row by up to ~1e-11·‖x‖ — inside the
+/// solver's feasibility tolerances, and the DPLL(T) layer additionally
+/// validates models and conflict explanations against the original
+/// constraints.
+const DROP_EPS: f64 = 1e-11;
+
+/// Minimum magnitude of a pivot element. Pivoting on a smaller coefficient
+/// multiplies the row by more than 1e7, amplifying accumulated float error
+/// past the feasibility tolerances; such entries are treated as zero when
+/// selecting an entering variable.
+const PIVOT_EPS: f64 = 1e-7;
 
 /// A value of the form `real + delta·ε` where `ε` is an arbitrarily small
 /// positive infinitesimal, used to represent strict bounds exactly.
@@ -143,9 +178,57 @@ struct Bound {
     reason: usize,
 }
 
-/// Feasibility and optimisation engine for conjunctions of linear constraints.
+/// A tableau row stored as `(variable, coefficient)` pairs sorted by
+/// variable index; exact zeros are never stored.
+#[derive(Debug, Clone, Default)]
+struct SparseRow {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseRow {
+    fn coeff(&self, var: usize) -> f64 {
+        match self
+            .entries
+            .binary_search_by_key(&(var as u32), |&(v, _)| v)
+        {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().map(|&(v, c)| (v as usize, c))
+    }
+}
+
+/// One retractable bound update; popping restores the previous bound slot.
+#[derive(Debug, Clone, Copy)]
+struct TrailEntry {
+    var: u32,
+    is_upper: bool,
+    previous: Option<Bound>,
+}
+
+/// Hashable bit-exact key of a constraint expression, used to share one
+/// slack variable (and tableau row) between all constraints over the same
+/// left-hand side.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExprKey(Vec<(u32, u64)>);
+
+impl ExprKey {
+    fn new(expr: &LinExpr) -> Self {
+        ExprKey(
+            expr.terms()
+                .map(|(v, c)| (v.index() as u32, c.to_bits()))
+                .collect(),
+        )
+    }
+}
+
+/// Incremental feasibility and optimisation engine for conjunctions of
+/// linear constraints.
 ///
-/// # Example
+/// # One-shot example
 ///
 /// ```
 /// use cps_smt::simplex::Simplex;
@@ -162,6 +245,23 @@ struct Bound {
 /// let result = Simplex::check(pool.len(), &constraints);
 /// assert!(!result.is_feasible()); // 1.5 + 1.0 > 2
 /// ```
+///
+/// # Incremental example
+///
+/// ```
+/// use cps_smt::simplex::Simplex;
+/// use cps_smt::{LinExpr, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.fresh("x");
+/// let mut simplex = Simplex::new(pool.len());
+/// simplex.assert_atom(&LinExpr::var(x).ge(1.0), 0).unwrap();
+/// assert!(simplex.solve().is_ok());
+/// let mark = simplex.mark();
+/// simplex.assert_atom(&LinExpr::var(x).le(0.5), 1).unwrap_err();
+/// simplex.pop_to(mark); // retract, x >= 1 alone is feasible again
+/// assert!(simplex.solve().is_ok());
+/// ```
 #[derive(Debug)]
 pub struct Simplex {
     /// Total number of variables (problem variables first, then slacks).
@@ -169,29 +269,61 @@ pub struct Simplex {
     /// Number of original problem variables.
     num_problem_vars: usize,
     /// `rows[r]` is the tableau row of the basic variable `row_owner[r]`,
-    /// expressing it as a linear combination of all variables (only nonbasic
-    /// entries are meaningful).
-    rows: Vec<Vec<f64>>,
+    /// expressing it as a linear combination of the nonbasic variables.
+    rows: Vec<SparseRow>,
     row_owner: Vec<usize>,
     /// `basic_row[v] = Some(r)` iff variable `v` is basic and owns row `r`.
     basic_row: Vec<Option<usize>>,
+    /// Candidate rows mentioning each variable: a lazily-compacted superset
+    /// (pivoting may leave stale indices, removed on the next compaction).
+    cols: Vec<Vec<u32>>,
     lower: Vec<Option<Bound>>,
     upper: Vec<Option<Bound>>,
     assignment: Vec<Delta>,
+    /// Retraction trail of bound updates ([`Simplex::mark`] /
+    /// [`Simplex::pop_to`]).
+    trail: Vec<TrailEntry>,
+    /// Shared slack variable per distinct constraint expression.
+    expr_slack: HashMap<ExprKey, usize>,
+    /// Total pivots performed over the instance's lifetime.
+    pivots: u64,
 }
 
 impl Simplex {
+    /// Creates an empty engine over `num_problem_vars` problem variables with
+    /// no bounds asserted.
+    pub fn new(num_problem_vars: usize) -> Self {
+        Simplex {
+            num_vars: num_problem_vars,
+            num_problem_vars,
+            rows: Vec::new(),
+            row_owner: Vec::new(),
+            basic_row: vec![None; num_problem_vars],
+            cols: vec![Vec::new(); num_problem_vars],
+            lower: vec![None; num_problem_vars],
+            upper: vec![None; num_problem_vars],
+            assignment: vec![Delta::real(0.0); num_problem_vars],
+            trail: Vec::new(),
+            expr_slack: HashMap::new(),
+            pivots: 0,
+        }
+    }
+
     /// Checks satisfiability of the conjunction of `constraints` over
     /// `num_problem_vars` problem variables. Each constraint carries an opaque
     /// `tag` that is echoed back in infeasibility explanations.
+    ///
+    /// One-shot convenience wrapper over the incremental engine.
     pub fn check(num_problem_vars: usize, constraints: &[(Constraint, usize)]) -> SimplexResult {
-        let mut simplex = Simplex::build(num_problem_vars, constraints);
-        match simplex.assert_all(constraints) {
+        let mut simplex = Simplex::new(num_problem_vars);
+        for (constraint, tag) in constraints {
+            if let Err(explanation) = simplex.assert_atom(constraint, *tag) {
+                return SimplexResult::Infeasible(explanation);
+            }
+        }
+        match simplex.solve() {
             Err(explanation) => SimplexResult::Infeasible(explanation),
-            Ok(()) => match simplex.solve() {
-                Err(explanation) => SimplexResult::Infeasible(explanation),
-                Ok(()) => SimplexResult::Feasible(simplex.concrete_assignment()),
-            },
+            Ok(()) => SimplexResult::Feasible(simplex.concrete_assignment()),
         }
     }
 
@@ -202,52 +334,153 @@ impl Simplex {
         constraints: &[(Constraint, usize)],
         objective: &LinExpr,
     ) -> Result<ObjectiveOutcome, Vec<usize>> {
-        let mut simplex = Simplex::build(num_problem_vars, constraints);
-        simplex.assert_all(constraints)?;
+        let mut simplex = Simplex::new(num_problem_vars);
+        for (constraint, tag) in constraints {
+            simplex.assert_atom(constraint, *tag)?;
+        }
         simplex.solve()?;
         Ok(simplex.maximize(objective))
     }
 
-    fn build(num_problem_vars: usize, constraints: &[(Constraint, usize)]) -> Simplex {
-        // One slack variable per constraint whose expression is not a single
-        // problem variable; multi-occurrences of the same expression could be
-        // shared but the extra slacks are harmless for correctness.
-        let mut num_vars = num_problem_vars;
-        let mut rows = Vec::new();
-        let mut row_owner = Vec::new();
-        for (constraint, _) in constraints {
-            if Self::single_var(constraint.expr()).is_none() {
-                let slack = num_vars;
-                num_vars += 1;
-                row_owner.push(slack);
-                rows.push(Vec::new());
-            }
+    /// Total pivots performed since construction.
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+
+    /// Registers the left-hand side of a constraint and returns the tableau
+    /// variable (and the scale to apply to bounds) representing it.
+    ///
+    /// Single-variable expressions `c·x` map directly to `(x, c)`; every
+    /// other expression gets a shared slack variable `s = expr` backed by a
+    /// tableau row (one row per *distinct* expression, no matter how many
+    /// constraints mention it).
+    pub fn define(&mut self, expr: &LinExpr) -> (usize, f64) {
+        if let Some((var, coeff)) = Self::single_var(expr) {
+            return (var, coeff);
         }
-        // Materialise dense rows now that the total variable count is known.
-        let mut row_idx = 0;
-        for (constraint, _) in constraints {
-            if Self::single_var(constraint.expr()).is_none() {
-                let mut row = vec![0.0; num_vars];
-                for (var, coeff) in constraint.expr().terms() {
-                    row[var.index()] = coeff;
+        let key = ExprKey::new(expr);
+        if let Some(&slack) = self.expr_slack.get(&key) {
+            return (slack, 1.0);
+        }
+        // Express the new row over *nonbasic* variables: substitute the
+        // definition of any variable that has already become basic.
+        let row_idx = self.rows.len();
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(expr.num_terms());
+        if expr
+            .terms()
+            .all(|(v, _)| self.basic_row[v.index()].is_none())
+        {
+            // Fast path (typical: all rows are defined before any pivoting).
+            entries.extend(expr.terms().map(|(v, c)| (v.index() as u32, c)));
+        } else {
+            let mut dense = vec![0.0; self.num_vars];
+            for (v, c) in expr.terms() {
+                match self.basic_row[v.index()] {
+                    None => dense[v.index()] += c,
+                    Some(r) => {
+                        for (w, rc) in self.rows[r].iter() {
+                            dense[w] += c * rc;
+                        }
+                    }
                 }
-                rows[row_idx] = row;
-                row_idx += 1;
             }
+            entries.extend(
+                dense
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, c)| *c != 0.0)
+                    .map(|(v, c)| (v as u32, *c)),
+            );
         }
-        let mut basic_row = vec![None; num_vars];
-        for (r, owner) in row_owner.iter().enumerate() {
-            basic_row[*owner] = Some(r);
+        let slack = self.num_vars;
+        self.num_vars += 1;
+        for &(v, _) in &entries {
+            self.cols[v as usize].push(row_idx as u32);
         }
-        Simplex {
-            num_vars,
-            num_problem_vars,
-            rows,
-            row_owner,
-            basic_row,
-            lower: vec![None; num_vars],
-            upper: vec![None; num_vars],
-            assignment: vec![Delta::real(0.0); num_vars],
+        self.rows.push(SparseRow { entries });
+        self.row_owner.push(slack);
+        self.basic_row.push(Some(row_idx));
+        self.cols.push(Vec::new());
+        self.lower.push(None);
+        self.upper.push(None);
+        self.assignment.push(Delta::real(0.0));
+        self.assignment[slack] = self.row_value(row_idx);
+        self.expr_slack.insert(key, slack);
+        (slack, 1.0)
+    }
+
+    /// Asserts an atomic constraint: registers its expression (if new) and
+    /// installs the corresponding bound. `tag` is echoed back in
+    /// infeasibility explanations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting tags when the bound immediately contradicts an
+    /// asserted bound of the opposite kind. An `Eq` constraint installs two
+    /// bounds; on conflict the first may remain installed — callers that need
+    /// atomic retraction should [`Simplex::mark`] first and
+    /// [`Simplex::pop_to`] on error.
+    pub fn assert_atom(&mut self, constraint: &Constraint, tag: usize) -> Result<(), Vec<usize>> {
+        let (var, scale) = self.define(constraint.expr());
+        self.assert_bound(var, scale, constraint.op(), constraint.bound(), tag)
+    }
+
+    /// Installs the bound `scale · var ⋈ bound` (as produced by
+    /// [`Simplex::define`]) with the given explanation tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pair of conflicting tags when the new bound contradicts the
+    /// currently asserted opposite bound of `var`.
+    pub fn assert_bound(
+        &mut self,
+        var: usize,
+        scale: f64,
+        op: RelOp,
+        bound: f64,
+        tag: usize,
+    ) -> Result<(), Vec<usize>> {
+        // `scale · var ⋈ bound` — dividing by a negative coefficient flips
+        // the comparison direction.
+        let value = bound / scale;
+        let flip = scale < 0.0;
+        let (is_upper, value) = match (op, flip) {
+            (RelOp::Le, false) | (RelOp::Ge, true) => (true, Delta::real(value)),
+            (RelOp::Lt, false) | (RelOp::Gt, true) => (true, Delta::with_delta(value, -1.0)),
+            (RelOp::Ge, false) | (RelOp::Le, true) => (false, Delta::real(value)),
+            (RelOp::Gt, false) | (RelOp::Lt, true) => (false, Delta::with_delta(value, 1.0)),
+            (RelOp::Eq, _) => {
+                self.assert_upper(var, Delta::real(value), tag)?;
+                return self.assert_lower(var, Delta::real(value), tag);
+            }
+        };
+        if is_upper {
+            self.assert_upper(var, value, tag)
+        } else {
+            self.assert_lower(var, value, tag)
+        }
+    }
+
+    /// Current length of the retraction trail; pass to [`Simplex::pop_to`] to
+    /// retract every bound asserted after this point.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Retracts all bounds asserted after `mark`, restoring the previous
+    /// bound records. The basis and the current assignment are left in place:
+    /// retracting only *loosens* bounds, so every nonbasic variable still
+    /// satisfies its bounds and the next [`Simplex::solve`] call starts from
+    /// a warm, near-feasible state.
+    pub fn pop_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let entry = self.trail.pop().expect("trail length checked");
+            let var = entry.var as usize;
+            if entry.is_upper {
+                self.upper[var] = entry.previous;
+            } else {
+                self.lower[var] = entry.previous;
+            }
         }
     }
 
@@ -262,60 +495,27 @@ impl Simplex {
         }
     }
 
-    fn assert_all(&mut self, constraints: &[(Constraint, usize)]) -> Result<(), Vec<usize>> {
-        let mut slack_idx = 0;
-        let mut slack_of_constraint = Vec::with_capacity(constraints.len());
-        for (constraint, _) in constraints {
-            if Self::single_var(constraint.expr()).is_none() {
-                slack_of_constraint.push(Some(self.row_owner[slack_idx]));
-                slack_idx += 1;
-            } else {
-                slack_of_constraint.push(None);
-            }
-        }
-        // Initialise slack assignments from the (all-zero) problem variables.
-        for r in 0..self.rows.len() {
-            let owner = self.row_owner[r];
-            self.assignment[owner] = self.row_value(r);
-        }
-        for (i, (constraint, tag)) in constraints.iter().enumerate() {
-            let (var, scale) = match slack_of_constraint[i] {
-                Some(slack) => (slack, 1.0),
-                None => Self::single_var(constraint.expr()).expect("single variable constraint"),
-            };
-            // `scale · var ⋈ bound` — dividing by a negative coefficient flips
-            // the comparison direction.
-            let bound = constraint.bound() / scale;
-            let flip = scale < 0.0;
-            let op = constraint.op();
-            let (is_upper, value) = match (op, flip) {
-                (RelOp::Le, false) | (RelOp::Ge, true) => (true, Delta::real(bound)),
-                (RelOp::Lt, false) | (RelOp::Gt, true) => (true, Delta::with_delta(bound, -1.0)),
-                (RelOp::Ge, false) | (RelOp::Le, true) => (false, Delta::real(bound)),
-                (RelOp::Gt, false) | (RelOp::Lt, true) => (false, Delta::with_delta(bound, 1.0)),
-                (RelOp::Eq, _) => {
-                    self.assert_upper(var, Delta::real(bound), *tag)?;
-                    self.assert_lower(var, Delta::real(bound), *tag)?;
-                    continue;
-                }
-            };
-            if is_upper {
-                self.assert_upper(var, value, *tag)?;
-            } else {
-                self.assert_lower(var, value, *tag)?;
-            }
-        }
-        Ok(())
-    }
-
     fn row_value(&self, row: usize) -> Delta {
         let mut value = Delta::real(0.0);
-        for (v, coeff) in self.rows[row].iter().enumerate() {
-            if *coeff != 0.0 && self.basic_row[v].is_none() {
-                value = value.add(self.assignment[v].scale(*coeff));
+        for (v, coeff) in self.rows[row].iter() {
+            if self.basic_row[v].is_none() {
+                value = value.add(self.assignment[v].scale(coeff));
             }
         }
         value
+    }
+
+    /// Drops stale and duplicate entries from the column index of `var` so
+    /// that it lists exactly the rows whose sparse row currently mentions
+    /// `var`, each once. (Duplicates arise when an entry cancels to zero in a
+    /// pivot — leaving a stale column record — and a later pivot re-creates
+    /// it, pushing a second record.)
+    fn compact_col(&mut self, var: usize) {
+        let mut col = std::mem::take(&mut self.cols[var]);
+        col.sort_unstable();
+        col.dedup();
+        col.retain(|&r| self.rows[r as usize].coeff(var) != 0.0);
+        self.cols[var] = col;
     }
 
     fn assert_upper(&mut self, var: usize, value: Delta, reason: usize) -> Result<(), Vec<usize>> {
@@ -329,6 +529,11 @@ impl Simplex {
             None => true,
         };
         if tighter {
+            self.trail.push(TrailEntry {
+                var: var as u32,
+                is_upper: true,
+                previous: self.upper[var],
+            });
             self.upper[var] = Some(Bound { value, reason });
             if self.basic_row[var].is_none() && self.assignment[var].gt(&value) {
                 self.update_nonbasic(var, value);
@@ -348,6 +553,11 @@ impl Simplex {
             None => true,
         };
         if tighter {
+            self.trail.push(TrailEntry {
+                var: var as u32,
+                is_upper: false,
+                previous: self.lower[var],
+            });
             self.lower[var] = Some(Bound { value, reason });
             if self.basic_row[var].is_none() && self.assignment[var].lt(&value) {
                 self.update_nonbasic(var, value);
@@ -357,15 +567,15 @@ impl Simplex {
     }
 
     /// Sets a nonbasic variable to `value` and propagates the change to the
-    /// basic variables.
+    /// basic variables (only rows mentioning `var` are touched).
     fn update_nonbasic(&mut self, var: usize, value: Delta) {
         let diff = value.sub(self.assignment[var]);
-        for r in 0..self.rows.len() {
-            let coeff = self.rows[r][var];
-            if coeff != 0.0 {
-                let owner = self.row_owner[r];
-                self.assignment[owner] = self.assignment[owner].add(diff.scale(coeff));
-            }
+        self.compact_col(var);
+        for i in 0..self.cols[var].len() {
+            let r = self.cols[var][i] as usize;
+            let coeff = self.rows[r].coeff(var);
+            let owner = self.row_owner[r];
+            self.assignment[owner] = self.assignment[owner].add(diff.scale(coeff));
         }
         self.assignment[var] = value;
     }
@@ -375,17 +585,46 @@ impl Simplex {
     /// Pivot selection uses a largest-violation heuristic for speed and falls
     /// back to Bland's rule (smallest index) after a fixed number of pivots to
     /// guarantee termination despite degeneracy.
-    fn solve(&mut self) -> Result<(), Vec<usize>> {
+    ///
+    /// Succeeds (possibly after pivoting) or returns an infeasibility
+    /// explanation; in both cases the engine remains usable — further bounds
+    /// can be asserted or retracted and `solve` called again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the tags of a conflicting bound configuration when the
+    /// asserted conjunction is infeasible.
+    pub fn solve(&mut self) -> Result<(), Vec<usize>> {
+        self.solve_bounded(u64::MAX)
+            .expect("unbounded solve always completes")
+    }
+
+    /// [`Simplex::solve`] with a pivot budget: returns `None` when the budget
+    /// is exhausted — or when the only pivots that could make progress are
+    /// numerically degenerate (below `PIVOT_EPS`) — before feasibility is
+    /// decided.
+    ///
+    /// A warm re-solve after an incremental bound change normally takes a
+    /// handful of pivots; a budget blow-up or a degenerate-pivot dead end
+    /// signals numerical degradation of the long-lived tableau (float error
+    /// accumulates through pivot arithmetic and there is no
+    /// refactorisation), and the caller should rebuild from the original
+    /// constraints instead of grinding on. The unbounded [`Simplex::solve`]
+    /// never reports divergence: it pivots through degenerate entries as a
+    /// last resort, which is the correct behaviour on a freshly built
+    /// tableau whose tiny coefficients are genuine constraint data.
+    pub fn solve_bounded(&mut self, max_pivots: u64) -> Option<Result<(), Vec<usize>>> {
         let bland_switch = 50 * (self.num_vars + 1);
-        let mut pivots = 0usize;
+        let mut local_pivots = 0u64;
         loop {
-            let use_bland = pivots >= bland_switch;
-            pivots += 1;
+            if local_pivots >= max_pivots {
+                return None;
+            }
+            let use_bland = local_pivots >= bland_switch as u64;
+            local_pivots += 1;
             let mut violating: Option<(usize, bool, f64)> = None;
-            for var in 0..self.num_vars {
-                if self.basic_row[var].is_none() {
-                    continue;
-                }
+            for row in 0..self.rows.len() {
+                let var = self.row_owner[row];
                 let mut candidate: Option<(bool, f64)> = None;
                 if let Some(lower) = self.lower[var] {
                     if self.assignment[var].lt(&lower.value) {
@@ -401,11 +640,9 @@ impl Simplex {
                     }
                 }
                 if let Some((increase, magnitude)) = candidate {
-                    if use_bland {
-                        violating = Some((var, increase, magnitude));
-                        break;
-                    }
                     let better = match violating {
+                        // Bland's rule: smallest variable index wins.
+                        Some((best_var, _, _)) if use_bland => var < best_var,
                         Some((_, _, best)) => magnitude > best,
                         None => true,
                     };
@@ -415,7 +652,7 @@ impl Simplex {
                 }
             }
             let Some((basic, needs_increase, _)) = violating else {
-                return Ok(());
+                return Some(Ok(()));
             };
             let row = self.basic_row[basic].expect("violating variable is basic");
             let target = if needs_increase {
@@ -424,14 +661,26 @@ impl Simplex {
                 self.upper[basic].expect("upper bound violated").value
             };
 
-            // Find a nonbasic variable that can absorb the change (Bland's rule).
+            // Find a nonbasic variable that can absorb the change (Bland's
+            // rule: row entries are sorted by variable index). Numerically
+            // tiny coefficients are avoided — dividing by them blows the row
+            // up past the feasibility tolerances — but a helpful tiny
+            // coefficient must not yield an infeasibility certificate either
+            // (concluding UNSAT while an unblocked direction exists would be
+            // unsound). Resolution: a *bounded* solve reports divergence so
+            // the caller rebuilds the tableau — on a long-lived tableau a
+            // tiny entry is almost always cancellation residue that survived
+            // `DROP_EPS`, and pivoting on it fabricates garbage rows (and,
+            // worse, garbage conflict explanations). An *unbounded* solve
+            // runs on a fresh or last-resort tableau, where tiny entries are
+            // genuine constraint data (e.g. geometrically decayed dynamics);
+            // there we pivot on the largest-magnitude helpful one.
+            let allow_tiny = max_pivots == u64::MAX;
             let mut pivot: Option<usize> = None;
-            for var in 0..self.num_vars {
+            let mut tiny_pivot: Option<(usize, f64)> = None;
+            let mut degraded = false;
+            for (var, coeff) in self.rows[row].iter() {
                 if self.basic_row[var].is_some() {
-                    continue;
-                }
-                let coeff = self.rows[row][var];
-                if coeff == 0.0 {
                     continue;
                 }
                 let can_help = if needs_increase {
@@ -441,10 +690,47 @@ impl Simplex {
                     (coeff > 0.0 && self.can_decrease(var))
                         || (coeff < 0.0 && self.can_increase(var))
                 };
-                if can_help {
+                if !can_help {
+                    continue;
+                }
+                if use_bland {
+                    // Bland's termination theorem requires the *smallest-index*
+                    // helpful variable, tiny or not: in unbounded mode take it
+                    // (termination beats conditioning on the last-resort
+                    // path); in bounded mode a tiny first choice is reported
+                    // as degradation instead.
+                    if coeff.abs() >= PIVOT_EPS || allow_tiny {
+                        pivot = Some(var);
+                    } else {
+                        degraded = true;
+                    }
+                    break;
+                }
+                if coeff.abs() >= PIVOT_EPS {
                     pivot = Some(var);
                     break;
                 }
+                let better = match tiny_pivot {
+                    Some((_, best)) => coeff.abs() > best,
+                    None => true,
+                };
+                if better {
+                    tiny_pivot = Some((var, coeff.abs()));
+                }
+            }
+            if pivot.is_none() {
+                if let Some((var, _)) = tiny_pivot {
+                    if allow_tiny {
+                        pivot = Some(var);
+                    } else {
+                        degraded = true;
+                    }
+                }
+            }
+            if degraded && pivot.is_none() {
+                // Numerical degradation, not infeasibility: ask the caller to
+                // rebuild from the original constraints.
+                return None;
             }
             let Some(entering) = pivot else {
                 // No variable can move: the row is a certificate of infeasibility.
@@ -454,12 +740,8 @@ impl Simplex {
                 } else {
                     explanation.push(self.upper[basic].expect("bound present").reason);
                 }
-                for var in 0..self.num_vars {
+                for (var, coeff) in self.rows[row].iter() {
                     if self.basic_row[var].is_some() {
-                        continue;
-                    }
-                    let coeff = self.rows[row][var];
-                    if coeff == 0.0 {
                         continue;
                     }
                     let blocking = if needs_increase {
@@ -479,7 +761,7 @@ impl Simplex {
                 }
                 explanation.sort_unstable();
                 explanation.dedup();
-                return Err(explanation);
+                return Some(Err(explanation));
             };
             self.pivot_and_update(basic, entering, target);
         }
@@ -502,9 +784,30 @@ impl Simplex {
     /// Pivots `basic` (leaving) with `entering` (nonbasic) and sets the
     /// leaving variable's assignment to `target` (the bound it violated).
     fn pivot_and_update(&mut self, basic: usize, entering: usize, target: Delta) {
+        self.pivots += 1;
+        #[cfg(debug_assertions)]
+        if std::env::var("SIMPLEX_TRACE").is_ok() {
+            eprintln!(
+                "PIVOT #{} basic={basic} entering={entering} target={target}",
+                self.pivots
+            );
+            for (r, rw) in self.rows.iter().enumerate() {
+                eprintln!("  row {r} owner {}: {:?}", self.row_owner[r], rw.entries);
+            }
+            for v in 0..self.num_vars {
+                eprintln!("  x{v} = {} cols {:?}", self.assignment[v], self.cols[v]);
+            }
+        }
         let row = self.basic_row[basic].expect("leaving variable is basic");
-        let coeff = self.rows[row][entering];
+        let coeff = self.rows[row].coeff(entering);
+        // Sub-PIVOT_EPS pivots are legal (the solve loop falls back to them
+        // when nothing better can help) — only exact zero is a logic error.
         debug_assert!(coeff != 0.0, "pivot coefficient must be non-zero");
+
+        // Snapshot the (compacted) column of the entering variable: exactly
+        // the rows whose assignment and coefficients the pivot touches.
+        self.compact_col(entering);
+        let col = std::mem::take(&mut self.cols[entering]);
 
         // Assignment update (using the *old* tableau rows): move the entering
         // variable by θ so that the leaving variable lands exactly on `target`,
@@ -512,54 +815,123 @@ impl Simplex {
         let theta = target.sub(self.assignment[basic]).scale(1.0 / coeff);
         self.assignment[basic] = target;
         self.assignment[entering] = self.assignment[entering].add(theta);
-        for r in 0..self.rows.len() {
+        for &r in &col {
+            let r = r as usize;
             if r == row {
                 continue;
             }
-            let c = self.rows[r][entering];
-            if c != 0.0 {
-                let owner = self.row_owner[r];
-                self.assignment[owner] = self.assignment[owner].add(theta.scale(c));
-            }
+            let c = self.rows[r].coeff(entering);
+            let owner = self.row_owner[r];
+            self.assignment[owner] = self.assignment[owner].add(theta.scale(c));
         }
 
         // Rewrite the pivot row to express `entering` in terms of the others:
         // basic = Σ a_j x_j  ⇒  entering = (basic − Σ_{j≠entering} a_j x_j) / a_entering.
-        let mut new_row = vec![0.0; self.num_vars];
-        for (v, value) in self.rows[row].iter().enumerate() {
-            if v == entering {
+        let old_entries = std::mem::take(&mut self.rows[row].entries);
+        let mut new_entries: Vec<(u32, f64)> = Vec::with_capacity(old_entries.len());
+        let basic_u32 = basic as u32;
+        let mut basic_inserted = false;
+        for (v, value) in old_entries {
+            if v as usize == entering {
                 continue;
             }
-            new_row[v] = -value / coeff;
+            if !basic_inserted && v > basic_u32 {
+                new_entries.push((basic_u32, 1.0 / coeff));
+                basic_inserted = true;
+            }
+            new_entries.push((v, -value / coeff));
         }
-        new_row[basic] = 1.0 / coeff;
-        self.rows[row] = new_row;
+        if !basic_inserted {
+            new_entries.push((basic_u32, 1.0 / coeff));
+        }
+        self.rows[row].entries = new_entries;
         self.row_owner[row] = entering;
         self.basic_row[entering] = Some(row);
         self.basic_row[basic] = None;
+        self.cols[basic].push(row as u32);
 
         // Substitute the new definition of `entering` into the other rows.
-        for r in 0..self.rows.len() {
+        let pivot_entries = self.rows[row].entries.clone();
+        for &r in &col {
+            let r = r as usize;
             if r == row {
                 continue;
             }
-            let factor = self.rows[r][entering];
+            let factor = self.rows[r].coeff(entering);
             if factor == 0.0 {
                 continue;
             }
-            let pivot_row = self.rows[row].clone();
-            let current = &mut self.rows[r];
-            current[entering] = 0.0;
-            for (v, value) in pivot_row.iter().enumerate() {
-                if *value != 0.0 {
-                    current[v] += factor * value;
+            self.merge_row(r, entering, factor, &pivot_entries);
+        }
+        // After substitution no row mentions `entering` any more (it is
+        // basic: its own row defines it and was rewritten above).
+        #[cfg(debug_assertions)]
+        self.audit("after pivot");
+    }
+
+    /// Replaces row `r` by `row_r − (entry for `entering`) + factor · pivot`,
+    /// i.e. eliminates `entering` by substituting its definition. Both entry
+    /// lists are sorted, so this is a linear sorted merge.
+    fn merge_row(&mut self, r: usize, entering: usize, factor: f64, pivot_entries: &[(u32, f64)]) {
+        let current = std::mem::take(&mut self.rows[r].entries);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(current.len() + pivot_entries.len());
+        let mut a = current.iter().peekable();
+        let mut b = pivot_entries.iter().peekable();
+        let entering = entering as u32;
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(va, ca)), Some(&&(vb, cb))) => match va.cmp(&vb) {
+                    Ordering::Less => {
+                        a.next();
+                        if va != entering {
+                            merged.push((va, ca));
+                        }
+                    }
+                    Ordering::Greater => {
+                        b.next();
+                        let c = factor * cb;
+                        if c != 0.0 {
+                            merged.push((vb, c));
+                            self.cols[vb as usize].push(r as u32);
+                        }
+                    }
+                    Ordering::Equal => {
+                        a.next();
+                        b.next();
+                        // The only place cancellation happens: drop residue
+                        // below the noise floor instead of storing a tiny
+                        // garbage coefficient a later pivot could divide by.
+                        let c = ca + factor * cb;
+                        if va != entering && c.abs() > DROP_EPS {
+                            merged.push((va, c));
+                        }
+                    }
+                },
+                (Some(&&(va, ca)), None) => {
+                    a.next();
+                    if va != entering {
+                        merged.push((va, ca));
+                    }
                 }
+                (None, Some(&&(vb, cb))) => {
+                    b.next();
+                    let c = factor * cb;
+                    if c != 0.0 {
+                        merged.push((vb, c));
+                        self.cols[vb as usize].push(r as u32);
+                    }
+                }
+                (None, None) => break,
             }
         }
+        self.rows[r].entries = merged;
     }
 
     /// Maximises `objective` starting from the current feasible assignment.
-    fn maximize(&mut self, objective: &LinExpr) -> ObjectiveOutcome {
+    ///
+    /// The caller must have established feasibility (a successful
+    /// [`Simplex::solve`]) first.
+    pub fn maximize(&mut self, objective: &LinExpr) -> ObjectiveOutcome {
         // Guard against cycling with a generous pivot budget; Bland's rule is
         // not applied to the optimisation phase, so we stop at the budget and
         // report the best point found (still feasible, possibly sub-optimal).
@@ -572,8 +944,8 @@ impl Simplex {
                 match self.basic_row[v] {
                     None => gradient[v] += coeff,
                     Some(row) => {
-                        for (w, row_coeff) in self.rows[row].iter().enumerate() {
-                            if *row_coeff != 0.0 && self.basic_row[w].is_none() {
+                        for (w, row_coeff) in self.rows[row].iter() {
+                            if self.basic_row[w].is_none() {
                                 gradient[w] += coeff * row_coeff;
                             }
                         }
@@ -614,11 +986,10 @@ impl Simplex {
             if let Some(step) = own_bound {
                 limit = Some((step, None));
             }
-            for r in 0..self.rows.len() {
-                let coeff = self.rows[r][entering];
-                if coeff == 0.0 {
-                    continue;
-                }
+            self.compact_col(entering);
+            for i in 0..self.cols[entering].len() {
+                let r = self.cols[entering][i] as usize;
+                let coeff = self.rows[r].coeff(entering);
                 let owner = self.row_owner[r];
                 // The owner's value changes by coeff · step · direction.
                 let delta_per_step = if increase { coeff } else { -coeff };
@@ -659,10 +1030,73 @@ impl Simplex {
         ObjectiveOutcome::Optimal(value, assignment)
     }
 
+    /// Debug-build invariant audit: every row references only nonbasic
+    /// variables and is listed in their column index, every basic variable's
+    /// assignment equals its row value, and every nonbasic variable sits
+    /// within its bounds.
+    #[cfg(debug_assertions)]
+    #[allow(dead_code)]
+    fn audit(&self, context: &str) {
+        for (r, row) in self.rows.iter().enumerate() {
+            let owner = self.row_owner[r];
+            assert_eq!(self.basic_row[owner], Some(r), "{context}: owner not basic");
+            for (v, c) in row.iter() {
+                assert!(
+                    self.basic_row[v].is_none(),
+                    "{context}: row {r} references basic variable {v}"
+                );
+                assert!(c != 0.0, "{context}: stored zero coefficient");
+                assert!(
+                    self.cols[v].contains(&(r as u32)),
+                    "{context}: column index of {v} misses row {r}"
+                );
+            }
+            let value = self.row_value(r);
+            let drift = (value.real - self.assignment[owner].real).abs()
+                + (value.delta - self.assignment[owner].delta).abs();
+            // Loose tolerance relative to the row's term magnitudes: pivot
+            // arithmetic legitimately accumulates float error at the scale of
+            // *historical* intermediate rows (sub-PIVOT_EPS fallback pivots
+            // amplify by up to ~1/coeff before later pivots shrink the row
+            // back), which the current magnitude cannot bound tightly; the
+            // caller's validation + rebuild machinery owns numerical
+            // correctness. The audit exists to catch *logic* bugs — e.g.
+            // double-counted column updates — which drift by whole terms,
+            // orders of magnitude beyond this bound.
+            let magnitude: f64 = row
+                .iter()
+                .map(|(v, c)| {
+                    c.abs() * (self.assignment[v].real.abs() + self.assignment[v].delta.abs())
+                })
+                .sum();
+            assert!(
+                drift <= 0.1 * (1.0 + magnitude),
+                "{context}: basic {owner} drifted from its row by {drift} (magnitude {magnitude})"
+            );
+        }
+        for v in 0..self.num_vars {
+            if self.basic_row[v].is_some() {
+                continue;
+            }
+            if let Some(b) = self.lower[v] {
+                assert!(
+                    !self.assignment[v].lt(&b.value),
+                    "{context}: nonbasic {v} below lower bound"
+                );
+            }
+            if let Some(b) = self.upper[v] {
+                assert!(
+                    !self.assignment[v].gt(&b.value),
+                    "{context}: nonbasic {v} above upper bound"
+                );
+            }
+        }
+    }
+
     /// Concretises the δ-assignment of the problem variables into plain `f64`
     /// values by substituting a positive ε small enough to preserve every
     /// strict bound.
-    fn concrete_assignment(&self) -> Vec<f64> {
+    pub fn concrete_assignment(&self) -> Vec<f64> {
         let mut epsilon: f64 = 1e-6;
         for var in 0..self.num_vars {
             let value = self.assignment[var];
@@ -917,5 +1351,111 @@ mod tests {
         let mut impossible = constraints.clone();
         impossible.push((LinExpr::var(xs[5]).ge(10.0), tag + 1));
         assert!(!Simplex::check(pool.len(), &impossible).is_feasible());
+    }
+
+    #[test]
+    fn push_pop_retracts_bounds() {
+        let (pool, v) = vars(2);
+        let mut simplex = Simplex::new(pool.len());
+        let sum = LinExpr::var(v[0]) + LinExpr::var(v[1]);
+        simplex.assert_atom(&sum.clone().le(2.0), 0).unwrap();
+        simplex.assert_atom(&LinExpr::var(v[0]).ge(0.5), 1).unwrap();
+        assert!(simplex.solve().is_ok());
+        let mark = simplex.mark();
+        // Push bounds that make the system infeasible.
+        simplex.assert_atom(&LinExpr::var(v[1]).ge(1.9), 2).unwrap();
+        assert!(simplex.solve().is_err());
+        // Pop back: feasibility is restored without rebuilding anything.
+        simplex.pop_to(mark);
+        assert!(simplex.solve().is_ok());
+        let model = simplex.concrete_assignment();
+        assert!(model[0] >= 0.5 - 1e-9);
+        assert!(model[0] + model[1] <= 2.0 + 1e-9);
+        // The retracted bound no longer constrains the system.
+        simplex.assert_atom(&LinExpr::var(v[1]).le(0.0), 3).unwrap();
+        assert!(simplex.solve().is_ok());
+    }
+
+    #[test]
+    fn slack_rows_are_shared_between_constraints_on_the_same_expr() {
+        let (pool, v) = vars(2);
+        let mut simplex = Simplex::new(pool.len());
+        let sum = LinExpr::var(v[0]) + LinExpr::var(v[1]);
+        let (s1, _) = simplex.define(sum.clone().le(2.0).expr());
+        let (s2, _) = simplex.define(sum.clone().ge(-2.0).expr());
+        assert_eq!(s1, s2, "same expression must share one slack row");
+        let diff = LinExpr::var(v[0]) - LinExpr::var(v[1]);
+        let (s3, _) = simplex.define(diff.le(1.0).expr());
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn pivot_counter_advances() {
+        let (pool, v) = vars(2);
+        let mut simplex = Simplex::new(pool.len());
+        let sum = LinExpr::var(v[0]) + LinExpr::var(v[1]);
+        simplex.assert_atom(&sum.ge(3.0), 0).unwrap();
+        simplex.assert_atom(&LinExpr::var(v[0]).le(1.0), 1).unwrap();
+        simplex.assert_atom(&LinExpr::var(v[1]).le(4.0), 2).unwrap();
+        assert!(simplex.solve().is_ok());
+        assert!(simplex.pivots() > 0, "repairing the slack requires a pivot");
+    }
+
+    #[test]
+    fn define_after_pivoting_substitutes_basic_variables() {
+        let (pool, v) = vars(2);
+        let mut simplex = Simplex::new(pool.len());
+        let sum = LinExpr::var(v[0]) + LinExpr::var(v[1]);
+        simplex.assert_atom(&sum.ge(3.0), 0).unwrap();
+        simplex.assert_atom(&LinExpr::var(v[0]).le(1.0), 1).unwrap();
+        assert!(simplex.solve().is_ok());
+        // A new expression mentioning a (possibly now-basic) variable must
+        // still evaluate consistently.
+        let diff = LinExpr::var(v[0]) - LinExpr::var(v[1]);
+        simplex.assert_atom(&diff.le(-1.0), 2).unwrap();
+        assert!(simplex.solve().is_ok());
+        let model = simplex.concrete_assignment();
+        assert!(model[0] + model[1] >= 3.0 - 1e-9);
+        assert!(model[0] <= 1.0 + 1e-9);
+        assert!(model[0] - model[1] <= -1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tiny_coefficients_do_not_fabricate_infeasibility() {
+        // Coefficients below PIVOT_EPS but above LinExpr's 1e-12 floor are
+        // genuine (e.g. geometrically decayed dynamics entries): the only
+        // helpful direction being tiny must not yield a bogus UNSAT.
+        let (pool, v) = vars(2);
+        let expr = LinExpr::term(v[0], 1e-8) + LinExpr::term(v[1], 1e-8);
+        let constraints = vec![(expr.ge(1.0), 0)];
+        match Simplex::check(pool.len(), &constraints) {
+            SimplexResult::Feasible(model) => {
+                assert!(1e-8 * (model[0] + model[1]) >= 1.0 - 1e-6);
+            }
+            other => panic!("feasible system declared {other:?}"),
+        }
+        // The genuinely blocked variant still explains correctly.
+        let expr = LinExpr::term(v[0], 1e-8);
+        let blocked = vec![(expr.ge(1.0), 0), (LinExpr::var(v[0]).le(0.0), 1)];
+        match Simplex::check(pool.len(), &blocked) {
+            SimplexResult::Infeasible(mut tags) => {
+                tags.sort_unstable();
+                assert_eq!(tags, vec![0, 1]);
+            }
+            other => panic!("blocked system declared {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_expression_constraints_are_decided() {
+        // `0 <= -1` (after constant folding) is infeasible on its own.
+        let (pool, _) = vars(1);
+        let infeasible = vec![(LinExpr::constant(3.0).le(1.0), 5)];
+        match Simplex::check(pool.len(), &infeasible) {
+            SimplexResult::Infeasible(tags) => assert_eq!(tags, vec![5]),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        let feasible = vec![(LinExpr::constant(1.0).le(3.0), 0)];
+        assert!(Simplex::check(pool.len(), &feasible).is_feasible());
     }
 }

@@ -1,10 +1,16 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use crate::sat::{Lit, SatSolver};
-use crate::simplex::{Simplex, SimplexResult};
+use crate::simplex::Simplex;
 use crate::tseitin::CnfBuilder;
-use crate::{Constraint, Formula, VarId, VarPool};
+use crate::{Constraint, Formula, RelOp, VarId, VarPool};
+
+/// Cumulative-pivot threshold after which the incremental tableau is rebuilt
+/// from the original constraints as numerical hygiene (see
+/// [`SmtSolver::theory_check`]).
+const PIVOT_REBUILD_THRESHOLD: u64 = 50_000;
 
 /// Configuration of the DPLL(T) search loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,15 +22,27 @@ pub struct SolverConfig {
     /// If non-zero, a theory consistency check also runs on the partial
     /// assignment every `partial_check_interval` decisions (in addition to the
     /// mandatory check at full assignments). Early checks prune the search at
-    /// the cost of more simplex runs.
+    /// the cost of more simplex runs — with the incremental theory backend a
+    /// partial check only processes the literals assigned since the previous
+    /// check, so a small interval is cheap.
     pub partial_check_interval: u64,
+    /// Selects the theory backend. `true` (default): a persistent simplex is
+    /// kept in lock-step with the SAT trail — theory checks assert only the
+    /// newly assigned literals' bounds and backtracking pops bounds instead
+    /// of rebuilding. `false`: rebuild the tableau from scratch on every
+    /// theory check, the PR-1 discipline (kept as an ablation baseline for
+    /// the `solver_ablation` bench; pair it with PR-1's
+    /// `partial_check_interval` of 32 for a faithful baseline — the default
+    /// interval of 1 assumes cheap incremental checks).
+    pub incremental_theory: bool,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         Self {
             max_conflicts: 2_000_000,
-            partial_check_interval: 32,
+            partial_check_interval: 1,
+            incremental_theory: true,
         }
     }
 }
@@ -40,6 +58,22 @@ pub struct SolverStats {
     pub theory_checks: u64,
     /// Theory conflicts that produced learned clauses.
     pub theory_conflicts: u64,
+    /// Simplex pivots performed across all theory checks.
+    pub pivots: u64,
+    /// Times the incremental tableau was rebuilt from the original
+    /// constraints (numerical-hygiene refactorisations; not counted in
+    /// from-scratch ablation mode, where every check rebuilds by design).
+    pub theory_rebuilds: u64,
+    /// Wall-clock nanoseconds spent inside the theory solver (bound
+    /// synchronisation + simplex).
+    pub simplex_nanos: u64,
+}
+
+impl SolverStats {
+    /// Wall-clock time spent inside the theory solver.
+    pub fn simplex_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.simplex_nanos)
+    }
 }
 
 /// Errors returned by [`SmtSolver::check`].
@@ -116,11 +150,61 @@ impl CheckResult {
     }
 }
 
+/// Persistent theory state kept in lock-step with the SAT trail.
+///
+/// Every theory atom's expression is registered in the simplex once (slack
+/// rows are shared between atoms over the same expression); the `stack`
+/// mirrors the subsequence of SAT trail literals that are theory atoms,
+/// together with the simplex trail mark taken before each literal's bound
+/// was asserted. Synchronisation pops the stack back to the longest prefix
+/// still present on the SAT trail (backtracking only truncates the trail, so
+/// prefix positions stay valid) and pushes bounds for the newly assigned
+/// atom literals.
+#[derive(Debug)]
+struct TheoryContext {
+    simplex: Simplex,
+    /// Per-atom `(tableau variable, bound scale)` slot from [`Simplex::define`].
+    atom_slot: Vec<(usize, f64)>,
+    stack: Vec<SyncedLit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SyncedLit {
+    /// Position of `lit` on the SAT trail when it was synchronised.
+    trail_pos: u32,
+    lit: Lit,
+    /// Simplex trail mark taken before asserting this literal's bound.
+    mark: usize,
+}
+
+impl TheoryContext {
+    fn new(num_real_vars: usize, cnf: &CnfBuilder) -> Self {
+        let mut simplex = Simplex::new(num_real_vars);
+        let atom_slot = cnf
+            .atoms()
+            .iter()
+            .map(|atom| simplex.define(atom.expr()))
+            .collect();
+        Self {
+            simplex,
+            atom_slot,
+            stack: Vec::new(),
+        }
+    }
+}
+
 /// Lazy DPLL(T) solver for quantifier-free linear real arithmetic.
 ///
 /// Assertions are accumulated with [`SmtSolver::assert`] and the conjunction
 /// of all assertions is decided by [`SmtSolver::check`]. The solver is a
 /// drop-in substitute for the Z3 queries issued by Algorithm 1 of the paper.
+///
+/// The theory side is *incremental* (Dutertre–de Moura): one persistent
+/// [`Simplex`] per `check` call owns the tableau, theory checks assert only
+/// the bounds of literals assigned since the previous check, and SAT
+/// backtracking retracts bounds by popping the simplex trail instead of
+/// rebuilding. See [`SolverConfig::incremental_theory`] for the from-scratch
+/// ablation switch.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
 #[derive(Debug)]
@@ -177,8 +261,8 @@ impl SmtSolver {
         if sat.is_unsat() {
             return Ok(CheckResult::Unsat);
         }
-        // A query with no theory atoms at all (pure constants) is decided by
-        // the SAT core alone.
+        // A query with no theory atoms at all (pure constants / free Boolean
+        // structure) is decided by the SAT core alone.
         if self.cnf.num_atoms() == 0 {
             return Ok(if sat.solve() {
                 CheckResult::Sat(Model {
@@ -189,15 +273,17 @@ impl SmtSolver {
             });
         }
 
+        let mut theory = TheoryContext::new(self.vars.len(), &self.cnf);
         let mut decisions_since_check: u64 = 0;
         loop {
             if sat.conflicts() >= self.config.max_conflicts {
+                self.record(&sat, &theory);
                 return Err(SmtError::BudgetExhausted);
             }
             if let Some(conflict) = sat.propagate() {
                 self.stats.conflicts += 1;
                 if !sat.resolve_conflict(conflict) {
-                    self.record(&sat);
+                    self.record(&sat, &theory);
                     return Ok(CheckResult::Unsat);
                 }
                 continue;
@@ -208,12 +294,12 @@ impl SmtSolver {
                         && decisions_since_check >= self.config.partial_check_interval;
                     if do_partial {
                         decisions_since_check = 0;
-                        match self.theory_check(&sat) {
+                        match self.theory_check(&mut theory, &mut sat, false) {
                             TheoryOutcome::Consistent(_) => {}
                             TheoryOutcome::Conflict(clause) => {
                                 self.stats.theory_conflicts += 1;
                                 if !sat.add_learned_clause(clause) {
-                                    self.record(&sat);
+                                    self.record(&sat, &theory);
                                     return Ok(CheckResult::Unsat);
                                 }
                                 continue;
@@ -226,15 +312,15 @@ impl SmtSolver {
                 }
                 None => {
                     // Full propositional assignment: the theory has the last word.
-                    match self.theory_check(&sat) {
+                    match self.theory_check(&mut theory, &mut sat, true) {
                         TheoryOutcome::Consistent(values) => {
-                            self.record(&sat);
+                            self.record(&sat, &theory);
                             return Ok(CheckResult::Sat(Model { values }));
                         }
                         TheoryOutcome::Conflict(clause) => {
                             self.stats.theory_conflicts += 1;
                             if !sat.add_learned_clause(clause) {
-                                self.record(&sat);
+                                self.record(&sat, &theory);
                                 return Ok(CheckResult::Unsat);
                             }
                         }
@@ -244,58 +330,251 @@ impl SmtSolver {
         }
     }
 
-    fn record(&mut self, sat: &SatSolver) {
+    fn record(&mut self, sat: &SatSolver, theory: &TheoryContext) {
         self.stats.decisions = sat.decisions();
         self.stats.conflicts = sat.conflicts();
+        // Rebuilds fold the retired tableau's pivots into the running total;
+        // add the live tableau's count on top.
+        self.stats.pivots += theory.simplex.pivots();
     }
 
     /// Runs a simplex feasibility check on the theory literals currently
     /// assigned by the SAT core.
-    fn theory_check(&mut self, sat: &SatSolver) -> TheoryOutcome {
+    ///
+    /// Incremental mode synchronises the persistent simplex with the SAT
+    /// trail: bounds of literals no longer on the trail are popped, bounds of
+    /// newly assigned atom literals are asserted, and the warm simplex state
+    /// is re-solved. From-scratch mode (the ablation baseline) rebuilds the
+    /// theory context first, which re-registers every atom row and re-asserts
+    /// every bound.
+    /// `full` marks the mandatory check at a complete propositional
+    /// assignment: only there is a concrete model materialised and validated
+    /// (partial checks just prune the search, so their model would be
+    /// discarded and a numerically stale "consistent" merely fails to prune).
+    fn theory_check(
+        &mut self,
+        theory: &mut TheoryContext,
+        sat: &mut SatSolver,
+        full: bool,
+    ) -> TheoryOutcome {
         self.stats.theory_checks += 1;
-        let mut asserted: Vec<(Constraint, usize)> = Vec::new();
-        let mut asserted_lits: Vec<Lit> = Vec::new();
-        for atom_idx in 0..self.cnf.num_atoms() {
-            let bool_var = self.cnf.atom_bool_var(atom_idx);
-            let Some(value) = sat.var_value(bool_var) else {
+        let started = Instant::now();
+        // A fresh tableau has no accumulated pivot error; rebuild when asked
+        // (ablation mode) and periodically as numerical hygiene — float error
+        // compounds through pivot arithmetic and the sparse engine has no
+        // refactorisation step.
+        if !self.config.incremental_theory || theory.simplex.pivots() > PIVOT_REBUILD_THRESHOLD {
+            if self.config.incremental_theory {
+                self.stats.theory_rebuilds += 1;
+            }
+            self.stats.pivots += theory.simplex.pivots();
+            *theory = TheoryContext::new(self.vars.len(), &self.cnf);
+        }
+        let low_water = sat.trail_low_water();
+        sat.reset_trail_low_water();
+        let mut outcome = self.sync_and_solve(theory, sat, low_water);
+        // Verdicts from a long-lived tableau are not trusted blindly: a
+        // feasible verdict at a full assignment must actually satisfy every
+        // asserted atom at the concrete model, and a conflict's explanation
+        // must itself be an infeasible subset (checked on a fresh
+        // mini-tableau over just those atoms — explanations are small, so
+        // this is cheap). Divergence and both validation failures signal
+        // tableau degradation; all are repaired by one rebuild + fresh solve,
+        // whose verdict is then trusted.
+        let mut model: Option<Vec<f64>> = None;
+        let needs_rebuild = match &outcome {
+            SolveOutcome::Feasible if full => {
+                let values = self.padded_model(theory);
+                let ok = self.model_consistent(sat, &values);
+                if ok {
+                    model = Some(values);
+                }
+                !ok
+            }
+            SolveOutcome::Feasible => false,
+            SolveOutcome::Diverged => true,
+            SolveOutcome::Conflict(explanation) => self.explanation_feasible(explanation),
+        };
+        if needs_rebuild {
+            if self.config.incremental_theory {
+                self.stats.theory_rebuilds += 1;
+            }
+            self.stats.pivots += theory.simplex.pivots();
+            *theory = TheoryContext::new(self.vars.len(), &self.cnf);
+            outcome = self.sync_and_solve(theory, sat, 0);
+            if matches!(outcome, SolveOutcome::Diverged) {
+                // Freshly rebuilt and still stuck: let the Bland-guarded
+                // unbounded solve finish the job.
+                outcome = match theory.simplex.solve() {
+                    Ok(()) => SolveOutcome::Feasible,
+                    Err(explanation) => SolveOutcome::Conflict(explanation),
+                };
+            }
+            if full && matches!(outcome, SolveOutcome::Feasible) {
+                model = Some(self.padded_model(theory));
+            }
+        }
+        self.stats.simplex_nanos += started.elapsed().as_nanos() as u64;
+        match outcome {
+            SolveOutcome::Feasible => TheoryOutcome::Consistent(model.unwrap_or_default()),
+            SolveOutcome::Conflict(explanation) => {
+                TheoryOutcome::Conflict(Self::conflict_clause(explanation))
+            }
+            SolveOutcome::Diverged => unreachable!("divergence handled by rebuild"),
+        }
+    }
+
+    /// Returns `true` when a conflict explanation (bound tags encoded as
+    /// [`Lit::index`]) is *not* actually an infeasible constraint subset —
+    /// the signature of a numerically degraded tableau fabricating a
+    /// certificate.
+    fn explanation_feasible(&self, explanation: &[usize]) -> bool {
+        let constraints: Vec<(Constraint, usize)> = explanation
+            .iter()
+            .enumerate()
+            .map(|(i, &tag)| {
+                let lit = Lit::from_index(tag);
+                let atom_idx = self
+                    .cnf
+                    .atom_of_var(lit.var())
+                    .expect("explanation tags are theory literals");
+                let atom = &self.cnf.atoms()[atom_idx];
+                let constraint = if lit.is_positive() {
+                    atom.clone()
+                } else {
+                    let mut negated = atom.negate();
+                    debug_assert_eq!(negated.len(), 1, "equality atoms are split");
+                    negated.pop().expect("non-empty negation")
+                };
+                (constraint, i)
+            })
+            .collect();
+        Simplex::check(self.vars.len(), &constraints).is_feasible()
+    }
+
+    /// Checks the concrete theory model against every atom literal on the
+    /// SAT trail (using the original constraint expressions, not the tableau).
+    fn model_consistent(&self, sat: &SatSolver, values: &[f64]) -> bool {
+        sat.trail().iter().all(|lit| {
+            let Some(atom_idx) = self.cnf.atom_of_var(lit.var()) else {
+                return true;
+            };
+            let atom = &self.cnf.atoms()[atom_idx];
+            if lit.is_positive() {
+                atom.holds(values)
+            } else {
+                atom.negate().iter().any(|c| c.holds(values))
+            }
+        })
+    }
+
+    fn padded_model(&self, theory: &TheoryContext) -> Vec<f64> {
+        let mut values = theory.simplex.concrete_assignment();
+        values.resize(self.vars.len(), 0.0);
+        values
+    }
+
+    fn sync_and_solve(
+        &self,
+        theory: &mut TheoryContext,
+        sat: &SatSolver,
+        low_water: usize,
+    ) -> SolveOutcome {
+        let trail = sat.trail();
+        // Pop bounds of every literal whose trail slot was truncated since
+        // the previous sync (even if the slot has regrown — possibly with the
+        // same literal — it belongs to a new branch and is re-asserted below).
+        while let Some(top) = theory.stack.last() {
+            if (top.trail_pos as usize) < low_water {
+                break;
+            }
+            theory.simplex.pop_to(top.mark);
+            theory.stack.pop();
+        }
+        debug_assert!(
+            theory
+                .stack
+                .iter()
+                .all(|entry| trail.get(entry.trail_pos as usize) == Some(&entry.lit)),
+            "theory stack out of sync with the SAT trail"
+        );
+        // Push bounds for atom literals assigned since the last sync.
+        let start = theory
+            .stack
+            .last()
+            .map_or(0, |top| top.trail_pos as usize + 1);
+        for (pos, &lit) in trail.iter().enumerate().skip(start) {
+            let Some(atom_idx) = self.cnf.atom_of_var(lit.var()) else {
                 continue;
             };
             let atom = &self.cnf.atoms()[atom_idx];
-            let constraint = if value {
-                atom.clone()
+            debug_assert_ne!(
+                atom.op(),
+                RelOp::Eq,
+                "equality atoms are split during CNF conversion"
+            );
+            let (op, bound) = if lit.is_positive() {
+                (atom.op(), atom.bound())
             } else {
-                let mut negated = atom.negate();
-                debug_assert_eq!(
-                    negated.len(),
-                    1,
-                    "equality atoms are split during CNF conversion"
-                );
-                negated.pop().expect("non-empty negation")
+                (atom.op().negated(), atom.bound())
             };
-            let tag = asserted.len();
-            asserted.push((constraint, tag));
-            asserted_lits.push(Lit::new(bool_var, value));
-        }
-        match Simplex::check(self.vars.len(), &asserted) {
-            SimplexResult::Feasible(values) => {
-                let mut padded = values;
-                padded.resize(self.vars.len(), 0.0);
-                TheoryOutcome::Consistent(padded)
+            let (var, scale) = theory.atom_slot[atom_idx];
+            let mark = theory.simplex.mark();
+            match theory
+                .simplex
+                .assert_bound(var, scale, op, bound, lit.index())
+            {
+                Ok(()) => theory.stack.push(SyncedLit {
+                    trail_pos: pos as u32,
+                    lit,
+                    mark,
+                }),
+                Err(explanation) => {
+                    theory.simplex.pop_to(mark);
+                    return SolveOutcome::Conflict(explanation);
+                }
             }
-            SimplexResult::Infeasible(explanation) => {
-                let clause: Vec<Lit> = explanation
-                    .into_iter()
-                    .map(|tag| asserted_lits[tag].negated())
-                    .collect();
-                TheoryOutcome::Conflict(clause)
-            }
         }
+        match theory.simplex.solve_bounded(self.solve_budget()) {
+            None => SolveOutcome::Diverged,
+            Some(Ok(())) => SolveOutcome::Feasible,
+            Some(Err(explanation)) => SolveOutcome::Conflict(explanation),
+        }
+    }
+
+    /// Pivot budget for one warm re-solve. Healthy incremental re-solves take
+    /// a handful of pivots; blowing this budget signals tableau degradation.
+    fn solve_budget(&self) -> u64 {
+        200 + 4 * self.cnf.num_atoms() as u64
+    }
+
+    /// Maps an infeasibility explanation (bound tags are [`Lit::index`]
+    /// encodings of the asserting literals) to the learned clause that blocks
+    /// the conflicting combination.
+    fn conflict_clause(explanation: Vec<usize>) -> Vec<Lit> {
+        explanation
+            .into_iter()
+            .map(|tag| Lit::from_index(tag).negated())
+            .collect()
     }
 }
 
 enum TheoryOutcome {
+    /// Theory-consistent. The model is only materialised for checks at a
+    /// full propositional assignment; partial checks carry an empty vector.
     Consistent(Vec<f64>),
     Conflict(Vec<Lit>),
+}
+
+/// Raw verdict of one synchronise-and-solve pass, before conflict clauses
+/// are built and verdicts validated.
+enum SolveOutcome {
+    Feasible,
+    /// Infeasible with a bound-tag explanation ([`Lit::index`] encodings).
+    Conflict(Vec<usize>),
+    /// The pivot budget was exhausted or only numerically degenerate pivots
+    /// remained: the tableau needs a rebuild.
+    Diverged,
 }
 
 #[cfg(test)]
@@ -451,6 +730,33 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_from_scratch_backends_agree() {
+        for incremental in [false, true] {
+            let (pool, x, y) = pool2();
+            let mut solver = SmtSolver::with_config(
+                pool,
+                SolverConfig {
+                    incremental_theory: incremental,
+                    ..SolverConfig::default()
+                },
+            );
+            solver.assert(Formula::or(vec![
+                Formula::atom(LinExpr::var(x).ge(4.0)),
+                Formula::atom(LinExpr::var(y).ge(4.0)),
+            ]));
+            solver.assert(Formula::atom((LinExpr::var(x) + LinExpr::var(y)).le(5.0)));
+            solver.assert(Formula::atom(LinExpr::var(x).ge(0.0)));
+            solver.assert(Formula::atom(LinExpr::var(y).ge(0.0)));
+            let model = solver.check().unwrap().expect_sat();
+            assert!(
+                model.value(x) >= 4.0 - 1e-9 || model.value(y) >= 4.0 - 1e-9,
+                "backend incremental={incremental} produced a bad model"
+            );
+            assert!(model.value(x) + model.value(y) <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_is_reported() {
         let (pool, x, y) = pool2();
         let mut solver = SmtSolver::with_config(
@@ -458,6 +764,7 @@ mod tests {
             SolverConfig {
                 max_conflicts: 0,
                 partial_check_interval: 0,
+                incremental_theory: true,
             },
         );
         // Force at least one conflict so the zero budget trips.

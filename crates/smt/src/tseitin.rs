@@ -23,6 +23,8 @@ pub struct CnfBuilder {
     /// Reverse map: Boolean variable → atom index.
     var_atom: HashMap<usize, usize>,
     atom_index: HashMap<AtomKey, usize>,
+    /// SAT variable backing each free [`Formula::BoolVar`] identifier.
+    free_bool_vars: HashMap<u32, usize>,
     /// CNF clauses over Boolean variables.
     clauses: Vec<Vec<Lit>>,
     /// Total number of Boolean variables allocated (atoms + auxiliaries).
@@ -137,6 +139,17 @@ impl CnfBuilder {
         match formula {
             Formula::True => self.true_lit(),
             Formula::False => self.true_lit().negated(),
+            Formula::BoolVar(id) => {
+                let var = match self.free_bool_vars.get(id) {
+                    Some(&var) => var,
+                    None => {
+                        let var = self.fresh_bool_var();
+                        self.free_bool_vars.insert(*id, var);
+                        var
+                    }
+                };
+                Lit::new(var, true)
+            }
             Formula::Atom(c) => {
                 if c.op() == RelOp::Eq {
                     // x = b  ⇝  (x <= b) ∧ (x >= b)

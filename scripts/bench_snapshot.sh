@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Captures a benchmark snapshot: runs `cargo bench` and writes a JSON map of
+# `bench name -> median wall-clock nanoseconds` parsed from the criterion
+# shim's `[median_ns=…]` markers (see crates/criterion_shim).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The committed snapshots (BENCH_<pr>.json) form the repo's perf trajectory:
+# compare the current tree against the previous PR's snapshot before claiming
+# a speedup. Sample counts honour CPS_BENCH_SAMPLES if set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_2.json}"
+bench_log="$(mktemp)"
+trap 'rm -f "$bench_log"' EXIT
+
+cargo bench 2>&1 | tee "$bench_log"
+
+{
+    echo "{"
+    sed -n 's/^\([^:]*\): median .*\[median_ns=\([0-9][0-9]*\)\]$/  "\1": \2,/p' "$bench_log" |
+        sed '$ s/,$//'
+    echo "}"
+} > "$out_file"
+
+echo "wrote $out_file:"
+cat "$out_file"
