@@ -1,17 +1,24 @@
-//! Ablation — the solver hot path, in two directions:
+//! Ablation — the solver hot path, in three directions:
 //!
 //! 1. full DPLL(T) attack synthesis (Algorithm 1) versus the LP-only
 //!    under-approximation, on the trajectory-tracking benchmark;
 //! 2. the incremental sparse theory core (persistent simplex synced with the
 //!    SAT trail) versus the PR-1 from-scratch baseline that rebuilds the
 //!    tableau on every theory check, on the VSC dead-zone query where theory
-//!    churn dominates.
+//!    churn dominates;
+//! 3. theory-level bound propagation (`SolverConfig::theory_propagation`) on
+//!    versus off, on the unconstrained VSC query and on the
+//!    threshold-constrained round where UNSAT-side conflict generalisation
+//!    dominates. The two ablation flags are independent: the from-scratch
+//!    row also runs with propagation off so it stays the faithful PR-1
+//!    baseline.
 //!
-//! Solver statistics (theory checks, pivots, simplex time) are printed for
+//! Solver statistics (theory checks, pivots, queue pops, implied bounds,
+//! propagated literals, explanation lengths, simplex time) are printed for
 //! each configuration so speedups are attributable to the theory core rather
 //! than the SAT search.
 
-use cps_bench::{bench_config, print_row, vsc_exact_config};
+use cps_bench::{bench_config, first_round_threshold, print_row, vsc_exact_config};
 use cps_smt::{SolverConfig, SolverStats};
 use criterion::{criterion_group, criterion_main, Criterion};
 use secure_cps::{AttackSynthesizer, LpAttackSynthesizer, SynthesisConfig};
@@ -22,11 +29,16 @@ fn stats_row(label: &str, stats: SolverStats) {
     print_row(
         "ablation",
         &format!(
-            "{label}: theory_checks={}, theory_conflicts={}, pivots={}, rebuilds={}, \
-             simplex_time={:?}, decisions={}, conflicts={}",
+            "{label}: theory_checks={}, theory_conflicts={}, pivots={}, queue_pops={}, \
+             implied_bounds={}, propagated_literals={}, mean_explanation_len={:.1}, \
+             rebuilds={}, simplex_time={:?}, decisions={}, conflicts={}",
             stats.theory_checks,
             stats.theory_conflicts,
             stats.pivots,
+            stats.queue_pops,
+            stats.implied_bounds,
+            stats.propagated_literals,
+            stats.mean_explanation_len(),
             stats.theory_rebuilds,
             stats.simplex_time(),
             stats.decisions,
@@ -35,7 +47,7 @@ fn stats_row(label: &str, stats: SolverStats) {
     );
 }
 
-fn vsc_ablation_config(incremental: bool) -> SynthesisConfig {
+fn vsc_ablation_config(incremental: bool, propagation: bool) -> SynthesisConfig {
     // The from-scratch baseline keeps PR-1's check cadence (one theory check
     // per 32 decisions): a per-decision cadence only makes sense when checks
     // are incremental, and pairing rebuild-per-check with it would handicap
@@ -46,6 +58,7 @@ fn vsc_ablation_config(incremental: bool) -> SynthesisConfig {
         solver: SolverConfig {
             incremental_theory: incremental,
             partial_check_interval,
+            theory_propagation: propagation,
             ..SolverConfig::default()
         },
         ..vsc_exact_config()
@@ -79,10 +92,16 @@ fn regenerate() {
         );
     }
 
-    // Theory-core ablation on the VSC exact dead-zone query.
+    // Theory-core ablation on the VSC exact dead-zone query. The from-scratch
+    // row disables propagation too, making it the faithful PR-1 discipline.
     let vsc = cps_models::vsc().expect("model builds");
-    for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
-        let synthesizer = AttackSynthesizer::new(&vsc, vsc_ablation_config(incremental));
+    for (label, incremental, propagation) in [
+        ("incremental+propagation", true, true),
+        ("incremental", true, false),
+        ("from_scratch", false, false),
+    ] {
+        let synthesizer =
+            AttackSynthesizer::new(&vsc, vsc_ablation_config(incremental, propagation));
         let found = synthesizer
             .synthesize(None)
             .expect("query decided")
@@ -96,6 +115,27 @@ fn regenerate() {
             synthesizer.last_solver_stats(),
         );
     }
+
+    // Propagation ablation on the threshold-constrained CEGIS round — the
+    // UNSAT-leaning query shape where conflict generalisation pays off.
+    for (label, propagation) in [("propagation_on", true), ("propagation_off", false)] {
+        let synthesizer = AttackSynthesizer::new(&vsc, vsc_ablation_config(true, propagation));
+        let th = first_round_threshold(&synthesizer);
+        let found = synthesizer
+            .synthesize(Some(&th))
+            .expect("query decided")
+            .is_some();
+        print_row(
+            "ablation",
+            &format!(
+                "vsc threshold round T={VSC_ABLATION_HORIZON} ({label}): attack_found={found}"
+            ),
+        );
+        stats_row(
+            &format!("vsc threshold round T={VSC_ABLATION_HORIZON} ({label})"),
+            synthesizer.last_solver_stats(),
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -105,8 +145,10 @@ fn bench(c: &mut Criterion) {
     let smt = AttackSynthesizer::new(&benchmark, config);
     let lp = LpAttackSynthesizer::new(&benchmark, config);
     let vsc = cps_models::vsc().expect("model builds");
-    let vsc_incremental = AttackSynthesizer::new(&vsc, vsc_ablation_config(true));
-    let vsc_from_scratch = AttackSynthesizer::new(&vsc, vsc_ablation_config(false));
+    let vsc_incremental = AttackSynthesizer::new(&vsc, vsc_ablation_config(true, true));
+    let vsc_no_propagation = AttackSynthesizer::new(&vsc, vsc_ablation_config(true, false));
+    let vsc_from_scratch = AttackSynthesizer::new(&vsc, vsc_ablation_config(false, false));
+    let th = first_round_threshold(&vsc_incremental);
     let mut group = c.benchmark_group("solver_ablation");
     group.sample_size(10);
     group.bench_function("smt_attack_synthesis", |b| {
@@ -118,6 +160,20 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("vsc_exact_from_scratch_simplex", |b| {
         b.iter(|| vsc_from_scratch.synthesize(None).expect("query decided"))
+    });
+    group.bench_function("vsc_threshold_round_propagation_on", |b| {
+        b.iter(|| {
+            vsc_incremental
+                .synthesize(Some(&th))
+                .expect("query decided")
+        })
+    });
+    group.bench_function("vsc_threshold_round_propagation_off", |b| {
+        b.iter(|| {
+            vsc_no_propagation
+                .synthesize(Some(&th))
+                .expect("query decided")
+        })
     });
     group.finish();
 }

@@ -26,7 +26,7 @@
 //! ```
 
 use cps_models::Benchmark;
-use secure_cps::{MonitorEncoding, SynthesisConfig};
+use secure_cps::{AttackSynthesizer, MonitorEncoding, PartialThreshold, SynthesisConfig};
 
 /// Synthesis configuration used by the benches: exact dead-zone semantics for
 /// small horizons, with a convergence margin that keeps CEGIS round counts in
@@ -70,6 +70,27 @@ pub fn vsc_scale_config() -> SynthesisConfig {
 /// fidelity discussion.
 pub fn synthesis_benchmark() -> Benchmark {
     cps_models::trajectory_tracking().expect("benchmark builds")
+}
+
+/// Reproduces round 1 of `PivotSynthesizer::run` for a prepared Algorithm 1
+/// instance: the undefended counterexample's residue pivot, shrunk by the
+/// convergence margin, becomes the first installed threshold. This is the
+/// query shape of every CEGIS certificate round; the `unsat_certificate` and
+/// `solver_ablation` benches share it so they keep timing the same query.
+///
+/// # Panics
+///
+/// Panics if the undefended query errors or comes back UNSAT (the benches
+/// only call this on attackable benchmarks).
+pub fn first_round_threshold(synth: &AttackSynthesizer<'_>) -> PartialThreshold {
+    let attack = synth
+        .synthesize(None)
+        .expect("query decided")
+        .expect("the undefended benchmark is attackable");
+    let (pivot, value) = attack.pivot();
+    let mut th: PartialThreshold = vec![None; synth.horizon()];
+    th[pivot] = Some((value * (1.0 - synth.config().convergence_margin)).max(1e-6));
+    th
 }
 
 /// Prints one CSV row with a label prefix so bench output can be grepped.

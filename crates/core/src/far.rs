@@ -2,7 +2,7 @@ use std::num::NonZeroUsize;
 use std::thread;
 
 use cps_control::Trace;
-use cps_detectors::{false_alarm_rate, Detector};
+use cps_detectors::Detector;
 use cps_models::Benchmark;
 
 /// The false-alarm-rate experiment of §IV: generate random bounded noise
@@ -97,12 +97,15 @@ impl<'a> FarExperiment<'a> {
             .benchmark
             .performance
             .satisfied_by(trace.states().last().expect("non-empty trace"));
-        let mdc_quiet = !self
-            .benchmark
-            .monitors
-            .evaluate(trace.measurements())
-            .alarmed();
-        (pfc_ok && mdc_quiet).then_some(trace)
+        // `first_alarm` short-circuits at the instant the verdict is decided
+        // and allocates nothing, unlike the full `evaluate` verdict.
+        let keep = pfc_ok
+            && self
+                .benchmark
+                .monitors
+                .first_alarm(trace.measurements())
+                .is_none();
+        keep.then_some(trace)
     }
 
     /// Generates the filtered population of attack-free noisy traces.
@@ -134,11 +137,52 @@ impl<'a> FarExperiment<'a> {
     }
 
     /// Runs the experiment against a set of named detectors.
+    ///
+    /// Detector evaluation is fused per trial: every detector's streaming
+    /// scanner ([`Detector::scanner`], allocated once, outside the trial
+    /// loop) is fed the trial's residues instant by instant, and the trial
+    /// is short-circuited the moment every detector in the suite has
+    /// alarmed. Verdicts — and therefore the reported rates — are identical
+    /// to evaluating each detector independently with
+    /// [`cps_detectors::false_alarm_rate`].
     pub fn run(&self, detectors: &[(&str, &dyn Detector)]) -> FarReport {
         let kept = self.noise_traces();
+        let mut alarms = vec![0usize; detectors.len()];
+        // Hoisted out of the trial loop: scanner state and per-trial flags.
+        let mut scanners: Vec<_> = detectors.iter().map(|(_, d)| d.scanner()).collect();
+        let mut alarmed = vec![false; detectors.len()];
+        if !scanners.is_empty() {
+            for trace in &kept {
+                for scanner in &mut scanners {
+                    scanner.reset();
+                }
+                alarmed.fill(false);
+                let mut pending = scanners.len();
+                'instants: for (k, residue) in trace.residues().iter().enumerate() {
+                    for (i, scanner) in scanners.iter_mut().enumerate() {
+                        if !alarmed[i] && scanner.step(k, residue) {
+                            alarmed[i] = true;
+                            alarms[i] += 1;
+                            pending -= 1;
+                            if pending == 0 {
+                                break 'instants;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let rates = detectors
             .iter()
-            .map(|(name, detector)| ((*name).to_string(), false_alarm_rate(*detector, &kept)))
+            .zip(&alarms)
+            .map(|((name, _), &count)| {
+                let rate = if kept.is_empty() {
+                    0.0
+                } else {
+                    count as f64 / kept.len() as f64
+                };
+                ((*name).to_string(), rate)
+            })
             .collect();
         FarReport {
             generated: self.num_trials,
@@ -227,6 +271,32 @@ mod tests {
         // More workers than trials must not panic or drop trials.
         let wide = FarExperiment::new(&benchmark, 3, 3).with_parallelism(64);
         assert_eq!(wide.run(&[]).generated, 3);
+    }
+
+    #[test]
+    fn fused_evaluation_matches_per_detector_rates() {
+        use cps_detectors::{false_alarm_rate, Chi2Detector, CusumDetector};
+
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        let horizon = benchmark.horizon;
+        let th = ThresholdDetector::new(ThresholdSpec::constant(0.05, horizon), ResidueNorm::Linf);
+        let chi2 = Chi2Detector::new(3, 0.004, ResidueNorm::L2);
+        let cusum = CusumDetector::new(0.02, 0.06, ResidueNorm::Linf);
+        let experiment = FarExperiment::new(&benchmark, 60, 19);
+        let report = experiment.run(&[
+            ("th", &th as &dyn Detector),
+            ("chi2", &chi2),
+            ("cusum", &cusum),
+        ]);
+        // The fused, trial-short-circuiting loop must reproduce the naive
+        // one-detector-at-a-time rates exactly.
+        let kept = experiment.noise_traces();
+        assert_eq!(report.rate_of("th"), Some(false_alarm_rate(&th, &kept)));
+        assert_eq!(report.rate_of("chi2"), Some(false_alarm_rate(&chi2, &kept)));
+        assert_eq!(
+            report.rate_of("cusum"),
+            Some(false_alarm_rate(&cusum, &kept))
+        );
     }
 
     #[test]

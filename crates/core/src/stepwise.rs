@@ -1,4 +1,5 @@
 use cps_models::Benchmark;
+use cps_smt::SolverStats;
 
 use crate::synthesis::{SynthesisOutcome, SynthesisReport, MIN_THRESHOLD};
 use crate::{AttackSynthesizer, PartialThreshold, SynthesisConfig};
@@ -66,14 +67,18 @@ impl<'a> StepwiseSynthesizer<'a> {
         let mut th: PartialThreshold = vec![None; horizon];
         let mut rounds = 0;
         let mut attacks = 0;
+        let mut stats = SolverStats::default();
 
         // Can the monitors alone be bypassed?
-        let Some(initial) = self.synthesizer.synthesize(None)? else {
+        let initial = self.synthesizer.synthesize(None)?;
+        stats.absorb(&self.synthesizer.last_solver_stats());
+        let Some(initial) = initial else {
             return Ok(SynthesisReport {
                 partial: th,
                 rounds,
                 attacks_eliminated: 0,
                 converged: true,
+                solver_stats: stats,
             });
         };
         attacks += 1;
@@ -95,14 +100,18 @@ impl<'a> StepwiseSynthesizer<'a> {
                     rounds: rounds - 1,
                     attacks_eliminated: attacks,
                     converged: false,
+                    solver_stats: stats,
                 });
             }
-            let Some(attack) = self.synthesizer.synthesize(Some(&th))? else {
+            let attack = self.synthesizer.synthesize(Some(&th))?;
+            stats.absorb(&self.synthesizer.last_solver_stats());
+            let Some(attack) = attack else {
                 return Ok(SynthesisReport {
                     partial: th,
                     rounds,
                     attacks_eliminated: attacks,
                     converged: true,
+                    solver_stats: stats,
                 });
             };
             attacks += 1;
@@ -131,14 +140,18 @@ impl<'a> StepwiseSynthesizer<'a> {
                     rounds: rounds - 1,
                     attacks_eliminated: attacks,
                     converged: false,
+                    solver_stats: stats,
                 });
             }
-            let Some(attack) = self.synthesizer.synthesize(Some(&th))? else {
+            let attack = self.synthesizer.synthesize(Some(&th))?;
+            stats.absorb(&self.synthesizer.last_solver_stats());
+            let Some(attack) = attack else {
                 return Ok(SynthesisReport {
                     partial: th,
                     rounds,
                     attacks_eliminated: attacks,
                     converged: true,
+                    solver_stats: stats,
                 });
             };
             attacks += 1;
@@ -165,6 +178,7 @@ impl<'a> StepwiseSynthesizer<'a> {
                         rounds,
                         attacks_eliminated: attacks,
                         converged: false,
+                        solver_stats: stats,
                     });
                 }
             }

@@ -3,7 +3,7 @@ use std::fmt;
 
 use cps_detectors::ThresholdSpec;
 use cps_models::Benchmark;
-use cps_smt::SmtError;
+use cps_smt::{SmtError, SolverStats};
 
 use crate::{partial_to_spec, AttackSynthesizer, PartialThreshold, SynthesisConfig};
 
@@ -46,9 +46,14 @@ pub struct SynthesisReport {
     pub rounds: usize,
     /// Number of counterexample attacks that were found and eliminated.
     pub attacks_eliminated: usize,
-    /// `true` when the final query proved that no stealthy attack remains;
-    /// `false` when the round limit stopped the loop early.
+    /// `true` when the final query proved that no stealthy attack remains —
+    /// i.e. the run ended on a per-round **UNSAT certificate** at the full
+    /// analysis horizon; `false` when the round limit stopped the loop early.
     pub converged: bool,
+    /// Solver statistics accumulated over every Algorithm 1 query of the run
+    /// (including the certifying final UNSAT query), for perf attribution of
+    /// the CEGIS loop as a whole.
+    pub solver_stats: SolverStats,
 }
 
 impl SynthesisReport {
@@ -130,14 +135,18 @@ impl<'a> PivotSynthesizer<'a> {
         let mut th: PartialThreshold = vec![None; horizon];
         let mut rounds = 0;
         let mut attacks = 0;
+        let mut stats = SolverStats::default();
 
         // Line 3: can the existing monitors alone be bypassed?
-        let Some(initial) = self.synthesizer.synthesize(None)? else {
+        let initial = self.synthesizer.synthesize(None)?;
+        stats.absorb(&self.synthesizer.last_solver_stats());
+        let Some(initial) = initial else {
             return Ok(SynthesisReport {
                 partial: th,
                 rounds,
                 attacks_eliminated: 0,
                 converged: true,
+                solver_stats: stats,
             });
         };
         attacks += 1;
@@ -153,14 +162,18 @@ impl<'a> PivotSynthesizer<'a> {
                     rounds: rounds - 1,
                     attacks_eliminated: attacks,
                     converged: false,
+                    solver_stats: stats,
                 });
             }
-            let Some(attack) = self.synthesizer.synthesize(Some(&th))? else {
+            let attack = self.synthesizer.synthesize(Some(&th))?;
+            stats.absorb(&self.synthesizer.last_solver_stats());
+            let Some(attack) = attack else {
                 return Ok(SynthesisReport {
                     partial: th,
                     rounds,
                     attacks_eliminated: attacks,
                     converged: true,
+                    solver_stats: stats,
                 });
             };
             attacks += 1;
@@ -176,6 +189,7 @@ impl<'a> PivotSynthesizer<'a> {
                     rounds,
                     attacks_eliminated: attacks,
                     converged: false,
+                    solver_stats: stats,
                 });
             }
         }
@@ -335,6 +349,7 @@ mod tests {
             rounds: 3,
             attacks_eliminated: 3,
             converged: true,
+            solver_stats: cps_smt::SolverStats::default(),
         };
         assert!(report.is_monotone_decreasing());
         let spec = report.threshold_spec();
@@ -346,6 +361,7 @@ mod tests {
             rounds: 1,
             attacks_eliminated: 1,
             converged: true,
+            solver_stats: cps_smt::SolverStats::default(),
         };
         assert!(!bad.is_monotone_decreasing());
     }

@@ -1,6 +1,7 @@
 use cps_control::{ResidueNorm, Trace};
+use cps_linalg::Vector;
 
-use crate::Detector;
+use crate::{AlarmScan, Detector};
 
 /// Windowed chi-squared-style detector: alarm when the sum of squared residue
 /// norms over a sliding window exceeds a threshold.
@@ -58,6 +59,46 @@ impl Detector for Chi2Detector {
             }
         }
         None
+    }
+
+    fn scanner(&self) -> Box<dyn AlarmScan + '_> {
+        Box::new(Chi2Scan {
+            detector: self,
+            // Ring buffer of the squared norms inside the window, allocated
+            // once per scanner and reused across traces.
+            recent: vec![0.0; self.window],
+            window_sum: 0.0,
+        })
+    }
+}
+
+/// Streaming evaluator for [`Chi2Detector`]: the same add-then-subtract
+/// update order as `first_alarm`, so the float arithmetic is bit-identical.
+#[derive(Debug)]
+struct Chi2Scan<'a> {
+    detector: &'a Chi2Detector,
+    recent: Vec<f64>,
+    window_sum: f64,
+}
+
+impl AlarmScan for Chi2Scan<'_> {
+    fn reset(&mut self) {
+        self.recent.fill(0.0);
+        self.window_sum = 0.0;
+    }
+
+    fn step(&mut self, k: usize, residue: &Vector) -> bool {
+        let window = self.detector.window;
+        let sq = {
+            let z = self.detector.norm.apply(residue);
+            z * z
+        };
+        self.window_sum += sq;
+        if k >= window {
+            self.window_sum -= self.recent[k % window];
+        }
+        self.recent[k % window] = sq;
+        k + 1 >= window && self.window_sum > self.detector.threshold
     }
 }
 
@@ -117,6 +158,33 @@ impl Detector for CusumDetector {
         self.statistic(trace)
             .into_iter()
             .position(|s| s > self.threshold)
+    }
+
+    fn scanner(&self) -> Box<dyn AlarmScan + '_> {
+        Box::new(CusumScan {
+            detector: self,
+            statistic: 0.0,
+        })
+    }
+}
+
+/// Streaming evaluator for [`CusumDetector`]: carries the one-sided CUSUM
+/// statistic between instants.
+#[derive(Debug)]
+struct CusumScan<'a> {
+    detector: &'a CusumDetector,
+    statistic: f64,
+}
+
+impl AlarmScan for CusumScan<'_> {
+    fn reset(&mut self) {
+        self.statistic = 0.0;
+    }
+
+    fn step(&mut self, _k: usize, residue: &Vector) -> bool {
+        let z = self.detector.norm.apply(residue);
+        self.statistic = f64::max(0.0, self.statistic + z - self.detector.drift);
+        self.statistic > self.detector.threshold
     }
 }
 

@@ -41,6 +41,7 @@ pub use evaluation::{detection_rate, false_alarm_rate};
 pub use threshold::{ThresholdDetector, ThresholdSpec};
 
 use cps_control::Trace;
+use cps_linalg::Vector;
 
 /// Common interface of residue-based detectors.
 pub trait Detector {
@@ -52,4 +53,24 @@ pub trait Detector {
     fn detects(&self, trace: &Trace) -> bool {
         self.first_alarm(trace).is_some()
     }
+
+    /// Creates a reusable streaming evaluator for this detector.
+    ///
+    /// A scanner consumes raw residues one instant at a time and reports the
+    /// alarm the moment it fires, so a caller evaluating many detectors over
+    /// many traces can allocate once, interleave all detectors per instant
+    /// and stop a trace early — the [`FarExperiment`](https://docs.rs/secure-cps)
+    /// hot loop. Verdicts must match [`Detector::first_alarm`] exactly
+    /// (asserted by the `scanner_agrees_with_first_alarm` differential test).
+    fn scanner(&self) -> Box<dyn AlarmScan + '_>;
+}
+
+/// Incremental per-instant evaluation state created by [`Detector::scanner`].
+pub trait AlarmScan {
+    /// Resets the scan state for a fresh trace.
+    fn reset(&mut self);
+
+    /// Feeds the residue of sampling instant `k` (instants must arrive in
+    /// order from zero); returns `true` when the alarm fires at `k`.
+    fn step(&mut self, k: usize, residue: &Vector) -> bool;
 }

@@ -1,6 +1,7 @@
 use cps_control::{ResidueNorm, Trace};
+use cps_linalg::Vector;
 
-use crate::Detector;
+use crate::{AlarmScan, Detector};
 
 /// A threshold specification `Th`, mapping each sampling instant to the
 /// residue bound the detector compares against.
@@ -128,6 +129,25 @@ impl Detector for ThresholdDetector {
             .enumerate()
             .find(|(k, z)| **z >= self.threshold.value_at(*k))
             .map(|(k, _)| k)
+    }
+
+    fn scanner(&self) -> Box<dyn AlarmScan + '_> {
+        Box::new(ThresholdScan { detector: self })
+    }
+}
+
+/// Stateless streaming evaluator for [`ThresholdDetector`]: one norm and one
+/// comparison per instant.
+#[derive(Debug)]
+struct ThresholdScan<'a> {
+    detector: &'a ThresholdDetector,
+}
+
+impl AlarmScan for ThresholdScan<'_> {
+    fn reset(&mut self) {}
+
+    fn step(&mut self, k: usize, residue: &Vector) -> bool {
+        self.detector.norm.apply(residue) >= self.detector.threshold.value_at(k)
     }
 }
 

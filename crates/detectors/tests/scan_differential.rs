@@ -1,0 +1,87 @@
+//! Differential tests between [`Detector::first_alarm`] and the streaming
+//! [`Detector::scanner`] evaluators over randomized residue traces: the two
+//! evaluation paths must agree on the exact alarm instant (including "no
+//! alarm"), and a reused scanner must behave identically after `reset`.
+
+use cps_control::{ResidueNorm, Trace};
+use cps_detectors::{Chi2Detector, CusumDetector, Detector, ThresholdDetector, ThresholdSpec};
+use cps_linalg::{SplitMix64, Vector};
+
+const CASES: u64 = 200;
+
+fn random_trace(rng: &mut SplitMix64) -> Trace {
+    let steps = 1 + rng.usize_below(30);
+    let dim = 1 + rng.usize_below(3);
+    let residues: Vec<Vector> = (0..steps)
+        .map(|_| Vector::from_slice(&(0..dim).map(|_| rng.range(-0.6, 0.6)).collect::<Vec<_>>()))
+        .collect();
+    Trace::new(
+        vec![Vector::zeros(1); steps + 1],
+        vec![Vector::zeros(1); steps + 1],
+        vec![Vector::zeros(dim); steps],
+        vec![Vector::zeros(dim); steps],
+        residues,
+    )
+}
+
+fn scan_first_alarm(detector: &dyn Detector, trace: &Trace) -> Option<usize> {
+    let mut scanner = detector.scanner();
+    scanner.reset();
+    trace
+        .residues()
+        .iter()
+        .enumerate()
+        .find(|(k, z)| scanner.step(*k, z))
+        .map(|(k, _)| k)
+}
+
+fn assert_paths_agree(detector: &dyn Detector, rng: &mut SplitMix64, label: &str) {
+    // One scanner reused across all traces: `reset` must fully clear state.
+    let mut reused = detector.scanner();
+    for case in 0..CASES {
+        let trace = random_trace(rng);
+        let batch = detector.first_alarm(&trace);
+        let fresh = scan_first_alarm(detector, &trace);
+        assert_eq!(
+            batch, fresh,
+            "{label} case {case}: scanner disagrees with first_alarm"
+        );
+        reused.reset();
+        let recycled = trace
+            .residues()
+            .iter()
+            .enumerate()
+            .find(|(k, z)| reused.step(*k, z))
+            .map(|(k, _)| k);
+        assert_eq!(
+            batch, recycled,
+            "{label} case {case}: reused scanner disagrees after reset"
+        );
+    }
+}
+
+#[test]
+fn threshold_scanner_agrees_with_first_alarm() {
+    let mut rng = SplitMix64::new(0x7157);
+    let spec = ThresholdSpec::variable(vec![0.5, 0.4, 0.3, 0.2, 0.1]);
+    for norm in [ResidueNorm::Linf, ResidueNorm::L2] {
+        let detector = ThresholdDetector::new(spec.clone(), norm);
+        assert_paths_agree(&detector, &mut rng, "threshold");
+    }
+}
+
+#[test]
+fn chi2_scanner_agrees_with_first_alarm() {
+    let mut rng = SplitMix64::new(0xC412);
+    for window in [1, 2, 5] {
+        let detector = Chi2Detector::new(window, 0.3, ResidueNorm::L2);
+        assert_paths_agree(&detector, &mut rng, "chi2");
+    }
+}
+
+#[test]
+fn cusum_scanner_agrees_with_first_alarm() {
+    let mut rng = SplitMix64::new(0xC05A);
+    let detector = CusumDetector::new(0.1, 0.5, ResidueNorm::Linf);
+    assert_paths_agree(&detector, &mut rng, "cusum");
+}

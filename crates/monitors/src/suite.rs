@@ -84,6 +84,29 @@ impl MonitorSuite {
             .all(|m| m.ok_at(k, measurements, self.sampling_period))
     }
 
+    /// First sampling instant at which the alarm fires (the end of the first
+    /// run of `dead_zone` consecutive violating instants), or `None`.
+    ///
+    /// Allocation-free short-circuiting variant of [`MonitorSuite::evaluate`]
+    /// for callers that only need the alarm verdict: monitor checks stop at
+    /// the instant the alarm is decided instead of materialising the full
+    /// per-instant violation vector — the hot path of the FAR experiment's
+    /// rollout filter.
+    pub fn first_alarm(&self, measurements: &[Vector]) -> Option<usize> {
+        let mut run = 0usize;
+        for k in 0..measurements.len() {
+            if self.ok_at(k, measurements) {
+                run = 0;
+            } else {
+                run += 1;
+                if run >= self.dead_zone {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
     /// Evaluates the suite over a measurement sequence.
     pub fn evaluate(&self, measurements: &[Vector]) -> MonitorVerdict {
         let violations: Vec<bool> = (0..measurements.len())

@@ -44,14 +44,31 @@
 //! - the solver keeps the simplex in lock-step with the SAT trail via trail
 //!   positions and a low-water mark (only literals assigned since the last
 //!   check are processed);
+//! - the simplex repair loop pops a **violation priority queue** (largest
+//!   infeasibility first, maintained incrementally by bound installs,
+//!   assignment updates and pivots) instead of rescanning every row per
+//!   pivot, and the SAT core picks decisions from an activity-ordered binary
+//!   heap with lazy deletion instead of an `O(vars)` scan;
+//! - **theory-level bound propagation** interval-propagates the tableau rows
+//!   after each consistent partial check: implied variable bounds are
+//!   derived with implication-graph explanations (the asserted atoms they
+//!   follow from), theory atoms decided by a derived bound are fixed on the
+//!   SAT trail with persistent implication clauses, and derived-vs-asserted
+//!   bound conflicts surface with generalised (minimal-cut) explanations —
+//!   the lever that makes threshold-constrained `UNSAT` certificates
+//!   tractable at the paper's 50-sample horizon;
 //! - numerical hygiene: pivot arithmetic accumulates float error (there is no
 //!   refactorisation), so consistent verdicts are validated against the
 //!   original constraint expressions and the tableau is rebuilt from scratch
-//!   when a re-solve diverges or the cumulative pivot count grows large.
+//!   when a re-solve diverges or the cumulative pivot count grows large;
+//!   derived bounds are padded outward and only trusted when they clear an
+//!   atom's bound by a robustness margin.
 //!
 //! [`SolverConfig::incremental_theory`] switches back to the from-scratch
-//! behaviour (a fresh tableau per theory check) as an ablation baseline; the
-//! `solver_ablation` bench reports both.
+//! behaviour (a fresh tableau per theory check) and
+//! [`SolverConfig::theory_propagation`] disables bound propagation — two
+//! independently toggleable ablation baselines; the `solver_ablation` bench
+//! reports all corners.
 //!
 //! # Example
 //!

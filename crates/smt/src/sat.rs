@@ -77,6 +77,109 @@ pub enum AddClauseResult {
     Unsat,
 }
 
+/// Indexed binary max-heap over variables ordered by VSIDS activity
+/// (ties break towards the smaller variable index, matching the linear-scan
+/// selection it replaces). Assigned variables are *lazily deleted*: they stay
+/// in the heap until they surface at the root during a pop, and are
+/// re-inserted when backtracking unassigns them.
+#[derive(Debug, Default)]
+struct VarOrder {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[var]` is the index of `var` in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarOrder {
+    fn new(num_vars: usize) -> Self {
+        // Equal activities with the smaller-index tie-break mean the identity
+        // ordering is already a valid heap.
+        Self {
+            heap: (0..num_vars as u32).collect(),
+            pos: (0..num_vars as u32).collect(),
+        }
+    }
+
+    /// `true` when `a` should sit above `b` in the heap.
+    fn precedes(activity: &[f64], a: u32, b: u32) -> bool {
+        let (aa, ab) = (activity[a as usize], activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn contains(&self, var: usize) -> bool {
+        self.pos[var] != ABSENT
+    }
+
+    fn insert(&mut self, var: usize, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.pos[var] = self.heap.len() as u32;
+        self.heap.push(var as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    fn bumped(&mut self, var: usize, activity: &[f64]) {
+        let i = self.pos[var];
+        if i != ABSENT {
+            self.sift_up(i as usize, activity);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<usize> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap is non-empty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top as usize)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::precedes(activity, self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i] as usize] = i as u32;
+                self.pos[self.heap[parent] as usize] = parent as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < self.heap.len()
+                && Self::precedes(activity, self.heap[right], self.heap[left])
+            {
+                child = right;
+            }
+            if Self::precedes(activity, self.heap[child], self.heap[i]) {
+                self.heap.swap(i, child);
+                self.pos[self.heap[i] as usize] = i as u32;
+                self.pos[self.heap[child] as usize] = child as u32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// # Example
@@ -110,6 +213,8 @@ pub struct SatSolver {
     propagate_head: usize,
     activity: Vec<f64>,
     activity_inc: f64,
+    /// Activity-ordered decision heap (see [`VarOrder`]).
+    order: VarOrder,
     phase: Vec<bool>,
     unsat: bool,
     conflicts: u64,
@@ -133,6 +238,7 @@ impl SatSolver {
             propagate_head: 0,
             activity: vec![0.0; num_vars],
             activity_inc: 1.0,
+            order: VarOrder::new(num_vars),
             phase: vec![false; num_vars],
             unsat: false,
             conflicts: 0,
@@ -348,20 +454,23 @@ impl SatSolver {
     }
 
     /// Picks the next decision literal: the unassigned variable with the
-    /// highest activity, using the saved phase. Returns `None` when all
-    /// variables are assigned.
-    pub fn pick_branch_literal(&self) -> Option<Lit> {
-        let mut best: Option<(usize, f64)> = None;
-        for var in 0..self.num_vars {
+    /// highest activity (popped from the activity-ordered heap; assigned
+    /// entries surfacing at the root are lazily discarded), using the saved
+    /// phase. Returns `None` when all variables are assigned.
+    pub fn pick_branch_literal(&mut self) -> Option<Lit> {
+        while let Some(var) = self.order.pop(&self.activity) {
             if self.assign[var].is_none() {
-                let act = self.activity[var];
-                match best {
-                    Some((_, best_act)) if best_act >= act => {}
-                    _ => best = Some((var, act)),
-                }
+                return Some(Lit::new(var, self.phase[var]));
             }
         }
-        best.map(|(var, _)| Lit::new(var, self.phase[var]))
+        None
+    }
+
+    /// Returns a variable obtained from [`SatSolver::pick_branch_literal`]
+    /// to the decision heap without deciding it — used by the DPLL(T) driver
+    /// when a theory check intervenes between picking and deciding.
+    pub fn requeue_decision(&mut self, var: usize) {
+        self.order.insert(var, &self.activity);
     }
 
     /// Backtracks to the given decision level (keeping assignments made at or
@@ -371,10 +480,13 @@ impl SatSolver {
             return;
         }
         let new_len = self.trail_lim[target_level];
-        for lit in self.trail.drain(new_len..) {
-            self.assign[lit.var()] = None;
-            self.reason[lit.var()] = None;
+        for i in new_len..self.trail.len() {
+            let var = self.trail[i].var();
+            self.assign[var] = None;
+            self.reason[var] = None;
+            self.order.insert(var, &self.activity);
         }
+        self.trail.truncate(new_len);
         self.trail_lim.truncate(target_level);
         self.trail_low_water = self.trail_low_water.min(self.trail.len());
         self.propagate_head = self.trail.len();
@@ -382,7 +494,10 @@ impl SatSolver {
 
     fn bump_activity(&mut self, var: usize) {
         self.activity[var] += self.activity_inc;
+        self.order.bumped(var, &self.activity);
         if self.activity[var] > 1e100 {
+            // Uniform rescale: relative order is untouched, so the heap needs
+            // no repair.
             for act in &mut self.activity {
                 *act *= 1e-100;
             }
@@ -536,6 +651,45 @@ impl SatSolver {
         // backtrack to level 0 and re-add.
         self.backtrack(0);
         self.add_clause(lits) != AddClauseResult::Unsat
+    }
+
+    /// Enqueues `lit` as a *theory-propagated* literal: the theory solver has
+    /// derived `(a₁ ∧ … ∧ aₙ) → lit` from the currently-true antecedent
+    /// literals `aᵢ`. The implication clause `lit ∨ ¬a₁ ∨ … ∨ ¬aₙ` is
+    /// attached eagerly (watching `lit` and the deepest-level antecedent, the
+    /// same discipline as learned clauses) so it both serves as the reason
+    /// for conflict analysis and persists as a theory lemma.
+    ///
+    /// Returns `false` when `lit` is already false — the implication is then
+    /// a theory conflict and the caller should raise it as one. Already-true
+    /// literals are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `antecedents` is non-empty and all currently
+    /// true.
+    pub fn propagate_theory_literal(&mut self, lit: Lit, antecedents: &[Lit]) -> bool {
+        debug_assert!(!antecedents.is_empty(), "implication needs antecedents");
+        debug_assert!(antecedents.iter().all(|a| self.value(*a) == LitValue::True));
+        match self.value(lit) {
+            LitValue::True => true,
+            LitValue::False => false,
+            LitValue::Unassigned => {
+                let mut clause = Vec::with_capacity(antecedents.len() + 1);
+                clause.push(lit);
+                clause.extend(antecedents.iter().map(|a| a.negated()));
+                let mut deepest = 1;
+                for (i, l) in clause.iter().enumerate().skip(2) {
+                    if self.level[l.var()] > self.level[clause[deepest].var()] {
+                        deepest = i;
+                    }
+                }
+                clause.swap(1, deepest);
+                let idx = self.attach_clause(clause);
+                self.enqueue(lit, Some(idx));
+                true
+            }
+        }
     }
 
     /// Self-contained propositional solve loop (no theory). Used by unit tests

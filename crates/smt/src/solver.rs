@@ -2,8 +2,10 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use std::collections::HashMap;
+
 use crate::sat::{Lit, SatSolver};
-use crate::simplex::Simplex;
+use crate::simplex::{ImpliedBound, Simplex};
 use crate::tseitin::CnfBuilder;
 use crate::{Constraint, Formula, RelOp, VarId, VarPool};
 
@@ -35,6 +37,18 @@ pub struct SolverConfig {
     /// `partial_check_interval` of 32 for a faithful baseline — the default
     /// interval of 1 assumes cheap incremental checks).
     pub incremental_theory: bool,
+    /// Enables theory-level bound propagation (`true` by default): after a
+    /// consistent partial theory check, bounds implied by the asserted ones
+    /// are derived by interval-propagating the tableau rows
+    /// ([`Simplex::propagate_bounds`]), and every theory atom decided by a
+    /// derived bound is fixed on the SAT trail with a persistent implication
+    /// clause whose antecedents come from the bound implication graph.
+    /// Conflicts between derived and asserted bounds surface immediately with
+    /// generalised explanations instead of waiting for a pivot-level
+    /// certificate. `false` disables all of it — the PR-2 "check-at-leaves"
+    /// discipline — as an ablation baseline, independently toggleable from
+    /// [`SolverConfig::incremental_theory`].
+    pub theory_propagation: bool,
 }
 
 impl Default for SolverConfig {
@@ -43,6 +57,7 @@ impl Default for SolverConfig {
             max_conflicts: 2_000_000,
             partial_check_interval: 1,
             incremental_theory: true,
+            theory_propagation: true,
         }
     }
 }
@@ -67,12 +82,49 @@ pub struct SolverStats {
     /// Wall-clock nanoseconds spent inside the theory solver (bound
     /// synchronisation + simplex).
     pub simplex_nanos: u64,
+    /// Bounds derived by theory propagation
+    /// ([`SolverConfig::theory_propagation`]).
+    pub implied_bounds: u64,
+    /// Theory atoms fixed on the SAT trail by a derived bound (each comes
+    /// with a persistent implication clause).
+    pub propagated_literals: u64,
+    /// Total literals across all theory-conflict explanations; divide by
+    /// [`SolverStats::theory_conflicts`] for the mean explanation length —
+    /// the conflict-generalisation quality metric.
+    pub explanation_literals: u64,
+    /// Simplex violation-priority-queue pops (the pivot-selection hot path).
+    pub queue_pops: u64,
 }
 
 impl SolverStats {
     /// Wall-clock time spent inside the theory solver.
     pub fn simplex_time(&self) -> std::time::Duration {
         std::time::Duration::from_nanos(self.simplex_nanos)
+    }
+
+    /// Mean theory-conflict explanation length (0 when no conflicts arose).
+    pub fn mean_explanation_len(&self) -> f64 {
+        if self.theory_conflicts == 0 {
+            0.0
+        } else {
+            self.explanation_literals as f64 / self.theory_conflicts as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self` — used to aggregate per-query
+    /// statistics over a multi-round CEGIS run.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.theory_checks += other.theory_checks;
+        self.theory_conflicts += other.theory_conflicts;
+        self.pivots += other.pivots;
+        self.theory_rebuilds += other.theory_rebuilds;
+        self.simplex_nanos += other.simplex_nanos;
+        self.implied_bounds += other.implied_bounds;
+        self.propagated_literals += other.propagated_literals;
+        self.explanation_literals += other.explanation_literals;
+        self.queue_pops += other.queue_pops;
     }
 }
 
@@ -165,6 +217,9 @@ struct TheoryContext {
     simplex: Simplex,
     /// Per-atom `(tableau variable, bound scale)` slot from [`Simplex::define`].
     atom_slot: Vec<(usize, f64)>,
+    /// Reverse index: tableau variable → atoms bounding it, used to turn
+    /// derived bounds into SAT-trail literal propagations.
+    var_atoms: HashMap<usize, Vec<u32>>,
     stack: Vec<SyncedLit>,
 }
 
@@ -178,16 +233,22 @@ struct SyncedLit {
 }
 
 impl TheoryContext {
-    fn new(num_real_vars: usize, cnf: &CnfBuilder) -> Self {
+    fn new(num_real_vars: usize, cnf: &CnfBuilder, track_implied: bool) -> Self {
         let mut simplex = Simplex::new(num_real_vars);
-        let atom_slot = cnf
+        simplex.set_bound_tracking(track_implied);
+        let atom_slot: Vec<(usize, f64)> = cnf
             .atoms()
             .iter()
             .map(|atom| simplex.define(atom.expr()))
             .collect();
+        let mut var_atoms: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (atom_idx, &(var, _)) in atom_slot.iter().enumerate() {
+            var_atoms.entry(var).or_default().push(atom_idx as u32);
+        }
         Self {
             simplex,
             atom_slot,
+            var_atoms,
             stack: Vec::new(),
         }
     }
@@ -214,6 +275,14 @@ pub struct SmtSolver {
     config: SolverConfig,
     stats: SolverStats,
 }
+
+/// Minimum number of unassigned theory atoms for bound propagation to be
+/// worth attempting. Small SAT-leaning queries (a conjunction plus one thin
+/// disjunction) leave only a couple of atoms undecided; interval-propagating
+/// the whole tableau to maybe fix them costs more than the entire search.
+/// Dead-zone-style encodings leave dozens-to-hundreds of atoms open, which
+/// is where propagation collapses the search.
+const PROP_MIN_UNASSIGNED_ATOMS: usize = 8;
 
 impl SmtSolver {
     /// Creates a solver over the variables allocated in `vars`.
@@ -273,7 +342,8 @@ impl SmtSolver {
             });
         }
 
-        let mut theory = TheoryContext::new(self.vars.len(), &self.cnf);
+        let mut theory =
+            TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
         let mut decisions_since_check: u64 = 0;
         loop {
             if sat.conflicts() >= self.config.max_conflicts {
@@ -294,10 +364,22 @@ impl SmtSolver {
                         && decisions_since_check >= self.config.partial_check_interval;
                     if do_partial {
                         decisions_since_check = 0;
+                        let trail_before = sat.trail().len();
                         match self.theory_check(&mut theory, &mut sat, false) {
-                            TheoryOutcome::Consistent(_) => {}
+                            TheoryOutcome::Consistent(_) => {
+                                // Theory propagation may have fixed literals
+                                // (possibly `lit` itself): return the picked
+                                // variable to the heap, run unit propagation
+                                // and re-pick before deciding.
+                                if sat.trail().len() != trail_before {
+                                    sat.requeue_decision(lit.var());
+                                    continue;
+                                }
+                            }
                             TheoryOutcome::Conflict(clause) => {
                                 self.stats.theory_conflicts += 1;
+                                self.stats.explanation_literals += clause.len() as u64;
+                                sat.requeue_decision(lit.var());
                                 if !sat.add_learned_clause(clause) {
                                     self.record(&sat, &theory);
                                     return Ok(CheckResult::Unsat);
@@ -319,6 +401,7 @@ impl SmtSolver {
                         }
                         TheoryOutcome::Conflict(clause) => {
                             self.stats.theory_conflicts += 1;
+                            self.stats.explanation_literals += clause.len() as u64;
                             if !sat.add_learned_clause(clause) {
                                 self.record(&sat, &theory);
                                 return Ok(CheckResult::Unsat);
@@ -333,9 +416,17 @@ impl SmtSolver {
     fn record(&mut self, sat: &SatSolver, theory: &TheoryContext) {
         self.stats.decisions = sat.decisions();
         self.stats.conflicts = sat.conflicts();
-        // Rebuilds fold the retired tableau's pivots into the running total;
-        // add the live tableau's count on top.
+        // Rebuilds fold the retired tableau's counters into the running
+        // totals; add the live tableau's counts on top.
         self.stats.pivots += theory.simplex.pivots();
+        self.stats.queue_pops += theory.simplex.queue_pops();
+    }
+
+    /// Folds a retired tableau's lifetime counters into the stats before the
+    /// context is replaced (rebuilds and ablation-mode refreshes).
+    fn fold_theory_counters(&mut self, theory: &TheoryContext) {
+        self.stats.pivots += theory.simplex.pivots();
+        self.stats.queue_pops += theory.simplex.queue_pops();
     }
 
     /// Runs a simplex feasibility check on the theory literals currently
@@ -367,12 +458,30 @@ impl SmtSolver {
             if self.config.incremental_theory {
                 self.stats.theory_rebuilds += 1;
             }
-            self.stats.pivots += theory.simplex.pivots();
-            *theory = TheoryContext::new(self.vars.len(), &self.cnf);
+            self.fold_theory_counters(theory);
+            *theory =
+                TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
         }
         let low_water = sat.trail_low_water();
         sat.reset_trail_low_water();
         let mut outcome = self.sync_and_solve(theory, sat, low_water);
+        // Theory propagation: on a consistent *partial* assignment, derive
+        // implied bounds, fix decided atoms on the SAT trail and surface
+        // derived-bound conflicts with generalised explanations. Skipped at
+        // full assignments and whenever every atom is already assigned
+        // (conjunction-heavy queries fix all atoms at level zero, leaving
+        // only auxiliary Tseitin variables to decide — derived bounds can
+        // then fix nothing and the simplex solve already owns conflict
+        // detection), and on the rebuild path below (plain solving is
+        // complete without it, which also guarantees a rebuild can never
+        // re-derive a bogus conflict).
+        if !full
+            && self.config.theory_propagation
+            && matches!(outcome, SolveOutcome::Feasible)
+            && self.propagation_worthwhile(sat)
+        {
+            outcome = self.theory_propagate(theory, sat);
+        }
         // Verdicts from a long-lived tableau are not trusted blindly: a
         // feasible verdict at a full assignment must actually satisfy every
         // asserted atom at the concrete model, and a conflict's explanation
@@ -399,8 +508,9 @@ impl SmtSolver {
             if self.config.incremental_theory {
                 self.stats.theory_rebuilds += 1;
             }
-            self.stats.pivots += theory.simplex.pivots();
-            *theory = TheoryContext::new(self.vars.len(), &self.cnf);
+            self.fold_theory_counters(theory);
+            *theory =
+                TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
             outcome = self.sync_and_solve(theory, sat, 0);
             if matches!(outcome, SolveOutcome::Diverged) {
                 // Freshly rebuilt and still stuck: let the Bland-guarded
@@ -548,6 +658,89 @@ impl SmtSolver {
         200 + 4 * self.cnf.num_atoms() as u64
     }
 
+    /// `true` when at least [`PROP_MIN_UNASSIGNED_ATOMS`] theory atoms are
+    /// still unassigned — the only situation where bound propagation can pay
+    /// for itself (early-exits once the threshold is reached, so the scan is
+    /// cheap exactly when propagation will run anyway).
+    fn propagation_worthwhile(&self, sat: &SatSolver) -> bool {
+        let mut unassigned = 0usize;
+        for i in 0..self.cnf.num_atoms() {
+            if sat.var_value(self.cnf.atom_bool_var(i)).is_none() {
+                unassigned += 1;
+                if unassigned >= PROP_MIN_UNASSIGNED_ATOMS {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs theory-level bound propagation and pushes its consequences to the
+    /// SAT core (see [`SolverConfig::theory_propagation`]).
+    fn theory_propagate(
+        &mut self,
+        theory: &mut TheoryContext,
+        sat: &mut SatSolver,
+    ) -> SolveOutcome {
+        let mut implied: Vec<ImpliedBound> = Vec::new();
+        let limit = 8 * self.cnf.num_atoms() + 64;
+        if let Err(explanation) = theory.simplex.propagate_bounds(limit, &mut implied) {
+            return SolveOutcome::Conflict(explanation);
+        }
+        self.stats.implied_bounds += implied.len() as u64;
+        let mut antecedents: Vec<Lit> = Vec::new();
+        for bound in &implied {
+            // A bound derived from the empty antecedent set is a structural
+            // fact (constant row); there is no clause to attach for it.
+            if bound.explanation.is_empty() {
+                continue;
+            }
+            let Some(atom_ids) = theory.var_atoms.get(&bound.var) else {
+                continue;
+            };
+            for &atom_idx in atom_ids {
+                let atom_idx = atom_idx as usize;
+                let bool_var = self.cnf.atom_bool_var(atom_idx);
+                if sat.var_value(bool_var).is_some() {
+                    continue;
+                }
+                let atom = &self.cnf.atoms()[atom_idx];
+                let (_, scale) = theory.atom_slot[atom_idx];
+                let Some(positive) = implied_polarity(atom.op(), atom.bound(), scale, bound) else {
+                    continue;
+                };
+                let lit = Lit::new(bool_var, positive);
+                antecedents.clear();
+                antecedents.extend(bound.explanation.iter().map(|&tag| Lit::from_index(tag)));
+                // The implication clause about to be attached is *permanent* —
+                // unlike every other verdict of the drift-prone tableau it
+                // could never be repaired by a rebuild — so it gets the same
+                // distrust: re-verify on a fresh mini-tableau (antecedents
+                // plus the negated conclusion must be infeasible) before
+                // attaching. Propagated literals are few (tens to hundreds
+                // per query) so this stays off the hot path; a failed check
+                // signals pivot-degraded row data and simply skips the
+                // literal, which is always sound.
+                let mut refutation: Vec<usize> = bound.explanation.to_vec();
+                refutation.push(lit.negated().index());
+                if self.explanation_feasible(&refutation) {
+                    debug_assert!(false, "theory propagation derived a non-implied literal");
+                    continue;
+                }
+                if sat.propagate_theory_literal(lit, &antecedents) {
+                    self.stats.propagated_literals += 1;
+                } else {
+                    // The implied literal is already false on the trail: the
+                    // implication clause itself is a theory conflict.
+                    let mut tags: Vec<usize> = bound.explanation.to_vec();
+                    tags.push(lit.negated().index());
+                    return SolveOutcome::Conflict(tags);
+                }
+            }
+        }
+        SolveOutcome::Feasible
+    }
+
     /// Maps an infeasibility explanation (bound tags are [`Lit::index`]
     /// encodings of the asserting literals) to the learned clause that blocks
     /// the conflicting combination.
@@ -556,6 +749,41 @@ impl SmtSolver {
             .into_iter()
             .map(|tag| Lit::from_index(tag).negated())
             .collect()
+    }
+}
+
+/// Decides whether a derived bound on an atom's tableau variable fixes the
+/// atom's truth value. `scale · var ⋈ bound` is normalised to variable space
+/// exactly as in [`Simplex::assert_bound`]; only real-part dominance with a
+/// robustness clearance is used — at that distance neither the infinitesimal
+/// components of strict bounds nor the propagation padding can flip the
+/// verdict, so missed borderline propagations are the only cost.
+fn implied_polarity(op: RelOp, bound: f64, scale: f64, derived: &ImpliedBound) -> Option<bool> {
+    /// Minimum real-part clearance between a derived bound and an atom's
+    /// bound before the atom is considered decided.
+    const CLEAR: f64 = 1e-9;
+    if op == RelOp::Eq {
+        return None; // equality atoms are split during CNF conversion
+    }
+    let value = bound / scale;
+    let flip = scale < 0.0;
+    // Positive-polarity view of the atom in variable space: an upper-type
+    // atom constrains `var ⋖ value`, a lower-type one `var ⋗ value`.
+    let atom_is_upper = matches!(
+        (op, flip),
+        (RelOp::Le, false) | (RelOp::Ge, true) | (RelOp::Lt, false) | (RelOp::Gt, true)
+    );
+    let real = derived.value.real;
+    match (atom_is_upper, derived.is_upper) {
+        // var ≤ U, U < value  ⇒  `var ⋖ value` holds (strict or not).
+        (true, true) if real < value - CLEAR => Some(true),
+        // var ≥ L, L > value  ⇒  `var ⋖ value` is violated.
+        (true, false) if real > value + CLEAR => Some(false),
+        // var ≥ L, L > value  ⇒  `var ⋗ value` holds.
+        (false, false) if real > value + CLEAR => Some(true),
+        // var ≤ U, U < value  ⇒  `var ⋗ value` is violated.
+        (false, true) if real < value - CLEAR => Some(false),
+        _ => None,
     }
 }
 
@@ -764,7 +992,7 @@ mod tests {
             SolverConfig {
                 max_conflicts: 0,
                 partial_check_interval: 0,
-                incremental_theory: true,
+                ..SolverConfig::default()
             },
         );
         // Force at least one conflict so the zero budget trips.

@@ -1,17 +1,32 @@
 #!/usr/bin/env bash
-# Captures a benchmark snapshot: runs `cargo bench` and writes a JSON map of
-# `bench name -> median wall-clock nanoseconds` parsed from the criterion
-# shim's `[median_ns=…]` markers (see crates/criterion_shim).
+# Captures a benchmark snapshot and gates on regressions.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Runs `cargo bench`, writes a JSON map of `bench name -> median wall-clock
+# nanoseconds` parsed from the criterion shim's `[median_ns=…]` markers (see
+# crates/criterion_shim), then diffs the fresh snapshot against a baseline:
+# the highest-numbered committed BENCH_<n>.json by default, or an explicit
+# second argument. The script exits non-zero when any bench present in BOTH
+# snapshots regressed by more than CPS_BENCH_TOLERANCE percent (default 25)
+# AND by more than CPS_BENCH_NOISE_FLOOR_NS absolute (default 20000 ns —
+# microsecond-scale benches jitter by several microseconds run to run on a
+# shared container, which is scheduling noise, not a regression). Benches
+# that exist only on one side (new or retired) are reported but never fail
+# the gate.
+#
+# Usage: scripts/bench_snapshot.sh [output.json] [baseline.json]
 #
 # The committed snapshots (BENCH_<pr>.json) form the repo's perf trajectory:
 # compare the current tree against the previous PR's snapshot before claiming
-# a speedup. Sample counts honour CPS_BENCH_SAMPLES if set.
+# a speedup. Sample counts honour CPS_BENCH_SAMPLES if set; single-sample
+# smoke runs (CI) should pair it with a loose CPS_BENCH_TOLERANCE, since
+# one-sample medians jitter far beyond any real regression signal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out_file="${1:-BENCH_2.json}"
+out_file="${1:-BENCH_4.json}"
+baseline="${2:-}"
+tolerance="${CPS_BENCH_TOLERANCE:-25}"
+noise_floor="${CPS_BENCH_NOISE_FLOOR_NS:-20000}"
 bench_log="$(mktemp)"
 trap 'rm -f "$bench_log"' EXIT
 
@@ -26,3 +41,44 @@ cargo bench 2>&1 | tee "$bench_log"
 
 echo "wrote $out_file:"
 cat "$out_file"
+
+if [[ -z "$baseline" ]]; then
+    baseline="$(ls BENCH_*.json 2>/dev/null | grep -vFx "$out_file" |
+        sort -t_ -k2 -n | tail -1 || true)"
+fi
+if [[ -z "$baseline" || ! -f "$baseline" ]]; then
+    echo "no baseline snapshot found; skipping regression gate"
+    exit 0
+fi
+
+echo "comparing against $baseline (tolerance: ${tolerance}% median regression," \
+     "noise floor: ${noise_floor} ns)"
+awk -v tol="$tolerance" -v floor="$noise_floor" -v baseline="$baseline" -v fresh="$out_file" '
+    # Both files use the simple one-entry-per-line format written above.
+    function parse(line) {
+        if (match(line, /^  "[^"]+": [0-9]+,?$/) == 0) return 0
+        name = line; sub(/^  "/, "", name); sub(/": .*/, "", name)
+        value = line; sub(/.*": /, "", value); sub(/,$/, "", value)
+        return 1
+    }
+    FNR == NR { if (parse($0)) base[name] = value + 0; next }
+    {
+        if (!parse($0)) next
+        if (!(name in base)) { printf "  new bench (no baseline): %s\n", name; next }
+        old = base[name]; new = value + 0; seen[name] = 1
+        change = old > 0 ? (new - old) * 100.0 / old : 0
+        status = "ok"
+        if (change > tol && new - old > floor) { status = "REGRESSION"; failed = 1 }
+        else if (change > tol) { status = "ok (within noise floor)" }
+        printf "  %-55s %12d -> %12d ns  (%+.1f%%) %s\n", name, old, new, change, status
+    }
+    END {
+        for (name in base) if (!(name in seen))
+            printf "  retired bench (baseline only): %s\n", name
+        if (failed) {
+            printf "regression gate FAILED: a bench regressed more than %s%%\n", tol
+            exit 1
+        }
+        print "regression gate passed"
+    }
+' "$baseline" "$out_file"

@@ -122,6 +122,43 @@ fn vsc_attack_exists_under_exact_dead_zone_at_reduced_horizon() {
     }
 }
 
+/// Regression guard for PR 2's mis-reported-UNSAT bug: the dense from-scratch
+/// core declared the T≥14 exact VSC query UNSAT after pivoting on ~1e-17
+/// cancellation residue. The query is known SAT (the T=50 attack of Fig. 2
+/// restricts to every prefix horizon), and it must *stay* SAT under each
+/// ablation corner of the conflict-generalising engine — a wrong UNSAT here
+/// is exactly the failure mode that would fabricate CEGIS certificates.
+#[test]
+fn vsc_exact_t14_stays_sat_under_every_engine_configuration() {
+    let benchmark = cps_models::vsc().unwrap();
+    for (incremental, propagation) in [(true, true), (true, false), (false, true)] {
+        let config = SynthesisConfig {
+            horizon_override: Some(14),
+            solver: cps_smt::SolverConfig {
+                incremental_theory: incremental,
+                theory_propagation: propagation,
+                ..cps_smt::SolverConfig::default()
+            },
+            ..fast_config()
+        };
+        let synthesizer = AttackSynthesizer::new(&benchmark, config);
+        let attack = synthesizer
+            .synthesize(None)
+            .expect("query decided")
+            .unwrap_or_else(|| {
+                panic!(
+                    "T=14 VSC query mis-reported UNSAT \
+                     (incremental={incremental}, propagation={propagation})"
+                )
+            });
+        assert!(
+            synthesizer.verify_attack(&attack, None),
+            "T=14 attack must verify under exact runtime semantics \
+             (incremental={incremental}, propagation={propagation})"
+        );
+    }
+}
+
 #[test]
 fn vsc_conjunctive_monitors_block_dead_zone_free_attackers() {
     // With monitors enforced at every instant (no dead-zone slack), the
