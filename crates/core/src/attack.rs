@@ -5,7 +5,7 @@ use cps_models::Benchmark;
 use cps_smt::{
     BoolVarPool, CheckResult, Formula, LinExpr, SmtError, SmtSolver, SolverConfig, SolverStats,
 };
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use crate::UnrolledLoop;
 
@@ -136,6 +136,12 @@ pub struct AttackSynthesizer<'a> {
     unrolled: UnrolledLoop,
     /// Statistics of the most recent solver call (for perf attribution).
     last_stats: Cell<SolverStats>,
+    /// Long-lived solver for warm-started CEGIS rounds
+    /// ([`SolverConfig::incremental_rounds`]): the round-invariant encoding
+    /// (monitor stealth, attack bounds, performance violation) is asserted
+    /// once on first use, and each round's threshold constraints are wrapped
+    /// in a `push`/`pop` scope. Stays `None` in fresh-per-round mode.
+    warm_solver: RefCell<Option<SmtSolver>>,
 }
 
 impl<'a> AttackSynthesizer<'a> {
@@ -149,6 +155,7 @@ impl<'a> AttackSynthesizer<'a> {
             config,
             unrolled,
             last_stats: Cell::new(SolverStats::default()),
+            warm_solver: RefCell::new(None),
         }
     }
 
@@ -193,25 +200,61 @@ impl<'a> AttackSynthesizer<'a> {
         &self,
         threshold: Option<&[Option<f64>]>,
     ) -> Result<Option<SynthesizedAttack>, SmtError> {
-        let horizon = self.unrolled.horizon();
-        let mut assertions = Vec::new();
-
-        // Residue stealth: for every instant with an active threshold, every
-        // residue component stays strictly inside (−Th[k], +Th[k]).
-        if let Some(threshold) = threshold {
-            for (k, entry) in threshold.iter().enumerate().take(horizon) {
-                if let Some(bound) = entry {
-                    if !bound.is_finite() {
-                        continue;
-                    }
-                    for j in 0..self.unrolled.num_residue_components() {
-                        let z = self.unrolled.residue(k, j).clone();
-                        assertions.push(Formula::atom(z.clone().lt(*bound)));
-                        assertions.push(Formula::atom(z.gt(-*bound)));
-                    }
-                }
+        let round_assertions = self.threshold_assertions(threshold);
+        // Warm and fresh paths run the *same* code over the same assertion
+        // order (base encoding first, round thresholds inside a scope), so
+        // their CNF — and therefore the whole search — is bit-identical. The
+        // warm path merely skips re-encoding the base formulas.
+        let outcome = if self.config.solver.incremental_rounds {
+            let mut warm = self.warm_solver.borrow_mut();
+            if warm.is_none() {
+                *warm = Some(self.base_solver());
+            }
+            let solver = warm.as_mut().expect("warm solver just initialised");
+            Self::check_round(solver, round_assertions, &self.last_stats)
+        } else {
+            let mut solver = self.base_solver();
+            Self::check_round(&mut solver, round_assertions, &self.last_stats)
+        };
+        match outcome? {
+            CheckResult::Unsat => Ok(None),
+            CheckResult::Sat(model) => {
+                let attack = self.attack_from_model(model.values());
+                let trace = self.simulate(&attack);
+                let residue_norms = trace.residue_norms(self.config.residue_norm);
+                Ok(Some(SynthesizedAttack {
+                    attack,
+                    trace,
+                    residue_norms,
+                }))
             }
         }
+    }
+
+    /// Checks one CEGIS round: the round-local assertions live in a scope
+    /// that is popped before returning (also on the error path, so a
+    /// budget-exhausted warm solver stays reusable).
+    fn check_round(
+        solver: &mut SmtSolver,
+        round_assertions: Vec<Formula>,
+        stats: &Cell<SolverStats>,
+    ) -> Result<CheckResult, SmtError> {
+        solver.push();
+        for assertion in round_assertions {
+            solver.assert(assertion);
+        }
+        let outcome = solver.check();
+        stats.set(solver.stats());
+        solver.pop();
+        outcome
+    }
+
+    /// Builds a solver holding the round-invariant encoding: monitor stealth
+    /// (mdc), attack magnitude limits and the performance violation (¬pfc).
+    fn base_solver(&self) -> SmtSolver {
+        let horizon = self.unrolled.horizon();
+        let mut solver = SmtSolver::with_config(self.unrolled.vars_cloned(), self.config.solver);
+        let mut assertions = Vec::new();
 
         // Monitor stealth (mdc): the plant monitors never raise an alarm.
         let symbols = self.unrolled.measurement_symbols();
@@ -260,24 +303,31 @@ impl<'a> AttackSynthesizer<'a> {
                 .encode_violation(self.unrolled.final_state()),
         );
 
-        let mut solver = SmtSolver::with_config(self.unrolled.vars_cloned(), self.config.solver);
         solver.assert(Formula::and(assertions));
+        solver
+    }
 
-        let outcome = solver.check();
-        self.last_stats.set(solver.stats());
-        match outcome? {
-            CheckResult::Unsat => Ok(None),
-            CheckResult::Sat(model) => {
-                let attack = self.attack_from_model(model.values());
-                let trace = self.simulate(&attack);
-                let residue_norms = trace.residue_norms(self.config.residue_norm);
-                Ok(Some(SynthesizedAttack {
-                    attack,
-                    trace,
-                    residue_norms,
-                }))
+    /// Builds the round-local residue-stealth assertions: for every instant
+    /// with an active threshold, every residue component stays strictly
+    /// inside (−Th[k], +Th[k]).
+    fn threshold_assertions(&self, threshold: Option<&[Option<f64>]>) -> Vec<Formula> {
+        let horizon = self.unrolled.horizon();
+        let mut assertions = Vec::new();
+        if let Some(threshold) = threshold {
+            for (k, entry) in threshold.iter().enumerate().take(horizon) {
+                if let Some(bound) = entry {
+                    if !bound.is_finite() {
+                        continue;
+                    }
+                    for j in 0..self.unrolled.num_residue_components() {
+                        let z = self.unrolled.residue(k, j).clone();
+                        assertions.push(Formula::atom(z.clone().lt(*bound)));
+                        assertions.push(Formula::atom(z.gt(-*bound)));
+                    }
+                }
             }
         }
+        assertions
     }
 
     /// Builds the concrete [`SensorAttack`] from a solver model.

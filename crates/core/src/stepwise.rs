@@ -21,6 +21,12 @@ use crate::{AttackSynthesizer, PartialThreshold, SynthesisConfig};
 ///
 /// Both phases preserve the staircase's monotonically decreasing shape. The
 /// loop terminates when Algorithm 1 proves that no stealthy attack remains.
+///
+/// Like [`PivotSynthesizer`](crate::PivotSynthesizer), the loop runs all its
+/// Algorithm 1 queries on one warm solver when
+/// [`cps_smt::SolverConfig::incremental_rounds`] is on: round thresholds are
+/// pushed and popped over the once-asserted base encoding, with bit-identical
+/// results to fresh-per-round mode.
 #[derive(Debug)]
 pub struct StepwiseSynthesizer<'a> {
     synthesizer: AttackSynthesizer<'a>,

@@ -90,6 +90,15 @@ pub type SynthesisOutcome = Result<SynthesisReport, SynthesisError>;
 ///   decreasing).
 ///
 /// The loop terminates when Algorithm 1 proves no stealthy attack remains.
+///
+/// With [`cps_smt::SolverConfig::incremental_rounds`] on (the default) every
+/// round's query runs on **one** long-lived solver held by the underlying
+/// [`AttackSynthesizer`]: the round-invariant encoding is asserted once and
+/// each round's threshold constraints live in a `push`/`pop` scope, so the
+/// per-round encoding cost drops to the threshold atoms alone. The verdicts,
+/// models and synthesised thresholds are bit-identical to fresh-per-round
+/// mode; [`SynthesisReport::solver_stats`]'s `scopes_reused` counts the
+/// warm-served rounds.
 #[derive(Debug)]
 pub struct PivotSynthesizer<'a> {
     synthesizer: AttackSynthesizer<'a>,

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use crate::sat::{Lit, SatSolver};
 use crate::simplex::{ImpliedBound, Simplex};
-use crate::tseitin::CnfBuilder;
+use crate::tseitin::{CnfBuilder, CnfMark};
 use crate::{Constraint, Formula, RelOp, VarId, VarPool};
 
 /// Cumulative-pivot threshold after which the incremental tableau is rebuilt
@@ -49,6 +49,31 @@ pub struct SolverConfig {
     /// discipline — as an ablation baseline, independently toggleable from
     /// [`SolverConfig::incremental_theory`].
     pub theory_propagation: bool,
+    /// Enables Luby-sequence search restarts (`true` by default): the SAT
+    /// core abandons its current subtree every `luby(i) · 256` conflicts,
+    /// carrying phase saving, VSIDS activities and all learned clauses across
+    /// the restart. Cheap insurance against heavy-tailed search: a run that
+    /// committed to a bad prefix early gets to re-decide it with mature
+    /// activities.
+    pub restarts: bool,
+    /// Enables learned-clause database reduction (`true` by default): when
+    /// the deletable learned-clause count exceeds a growing cap, the
+    /// lowest-activity half of the high-glue clauses is deleted at the next
+    /// level-zero opportunity. Problem clauses and persistent theory
+    /// implication clauses are exempt (deleting an implication clause would
+    /// force the theory to re-derive it with fresh simplex work).
+    pub clause_db_reduction: bool,
+    /// Warm-started incremental CEGIS rounds (`true` by default). Consumed by
+    /// the synthesis layer, not by [`SmtSolver::check`] itself: when set, the
+    /// attack synthesizer keeps **one** solver per synthesis run, asserts the
+    /// round-invariant encoding once, and wraps each round's threshold
+    /// constraints in a [`SmtSolver::push`]/[`SmtSolver::pop`] scope. Every
+    /// `check` still derives its search state from the accumulated CNF alone,
+    /// so warm rounds return bit-identical verdicts, models and thresholds to
+    /// fresh-per-round runs — the speedup comes from not re-encoding the
+    /// round-invariant formulas (monitors, attack bounds, performance
+    /// violation) every round.
+    pub incremental_rounds: bool,
 }
 
 impl Default for SolverConfig {
@@ -58,6 +83,9 @@ impl Default for SolverConfig {
             partial_check_interval: 1,
             incremental_theory: true,
             theory_propagation: true,
+            restarts: true,
+            clause_db_reduction: true,
+            incremental_rounds: true,
         }
     }
 }
@@ -94,6 +122,17 @@ pub struct SolverStats {
     pub explanation_literals: u64,
     /// Simplex violation-priority-queue pops (the pivot-selection hot path).
     pub queue_pops: u64,
+    /// Luby restarts performed by the SAT core
+    /// ([`SolverConfig::restarts`]).
+    pub restarts: u64,
+    /// Learned clauses deleted by database reduction
+    /// ([`SolverConfig::clause_db_reduction`]).
+    pub clauses_deleted: u64,
+    /// `check` calls served by a warm solver (one that had already completed
+    /// an earlier `check`, so its round-invariant encoding was reused instead
+    /// of rebuilt). Aggregated over a CEGIS run this counts the warm-started
+    /// rounds; it stays zero in fresh-per-round mode.
+    pub scopes_reused: u64,
 }
 
 impl SolverStats {
@@ -125,6 +164,9 @@ impl SolverStats {
         self.propagated_literals += other.propagated_literals;
         self.explanation_literals += other.explanation_literals;
         self.queue_pops += other.queue_pops;
+        self.restarts += other.restarts;
+        self.clauses_deleted += other.clauses_deleted;
+        self.scopes_reused += other.scopes_reused;
     }
 }
 
@@ -274,6 +316,11 @@ pub struct SmtSolver {
     cnf: CnfBuilder,
     config: SolverConfig,
     stats: SolverStats,
+    /// Open assertion scopes ([`SmtSolver::push`]), oldest first.
+    scopes: Vec<CnfMark>,
+    /// Total [`SmtSolver::check`] calls completed on this solver — the basis
+    /// of the [`SolverStats::scopes_reused`] warm-round accounting.
+    checks_completed: u64,
 }
 
 /// Minimum number of unassigned theory atoms for bound propagation to be
@@ -297,6 +344,8 @@ impl SmtSolver {
             cnf: CnfBuilder::new(),
             config,
             stats: SolverStats::default(),
+            scopes: Vec::new(),
+            checks_completed: 0,
         }
     }
 
@@ -315,6 +364,36 @@ impl SmtSolver {
         self.cnf.assert_formula(&formula);
     }
 
+    /// Opens an assertion scope. Assertions added after `push` — together
+    /// with every theory atom and auxiliary Boolean variable their encoding
+    /// introduces — are retracted by the matching [`SmtSolver::pop`].
+    ///
+    /// Scoping acts on the *assertion store* (the accumulated CNF), not on
+    /// search state: each [`SmtSolver::check`] derives its SAT and theory
+    /// engines from the store, so a check after `pop` behaves exactly as if
+    /// the popped assertions had never been made. That is what makes warm
+    /// CEGIS rounds ([`SolverConfig::incremental_rounds`]) bit-identical to
+    /// fresh-per-round ones.
+    pub fn push(&mut self) {
+        self.scopes.push(self.cnf.mark());
+    }
+
+    /// Closes the innermost assertion scope, retracting everything asserted
+    /// since the matching [`SmtSolver::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without a matching push");
+        self.cnf.release_to(mark);
+    }
+
+    /// Number of currently open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
     /// Decides satisfiability of the conjunction of all assertions.
     ///
     /// # Errors
@@ -322,8 +401,20 @@ impl SmtSolver {
     /// Returns [`SmtError::BudgetExhausted`] when the configured conflict
     /// budget is spent before the query is decided.
     pub fn check(&mut self) -> Result<CheckResult, SmtError> {
+        let result = self.check_inner();
+        self.checks_completed += 1;
+        result
+    }
+
+    fn check_inner(&mut self) -> Result<CheckResult, SmtError> {
         self.stats = SolverStats::default();
+        // A solver that already completed a check serves this one warm: its
+        // accumulated base encoding is reused instead of re-encoded.
+        if self.checks_completed > 0 {
+            self.stats.scopes_reused = 1;
+        }
         let mut sat = SatSolver::new(self.cnf.num_bool_vars());
+        sat.enable_scale_out(self.config.restarts, self.config.clause_db_reduction);
         for clause in self.cnf.clauses() {
             sat.add_clause(clause.clone());
         }
@@ -356,6 +447,13 @@ impl SmtSolver {
                     self.record(&sat, &theory);
                     return Ok(CheckResult::Unsat);
                 }
+                // Restarts only drop SAT search state; the theory context
+                // re-synchronises from the truncated trail on its next check.
+                if sat.should_restart() {
+                    sat.restart();
+                } else {
+                    sat.maybe_reduce_db();
+                }
                 continue;
             }
             match sat.pick_branch_literal() {
@@ -384,6 +482,11 @@ impl SmtSolver {
                                     self.record(&sat, &theory);
                                     return Ok(CheckResult::Unsat);
                                 }
+                                if sat.should_restart() {
+                                    sat.restart();
+                                } else {
+                                    sat.maybe_reduce_db();
+                                }
                                 continue;
                             }
                         }
@@ -406,6 +509,11 @@ impl SmtSolver {
                                 self.record(&sat, &theory);
                                 return Ok(CheckResult::Unsat);
                             }
+                            if sat.should_restart() {
+                                sat.restart();
+                            } else {
+                                sat.maybe_reduce_db();
+                            }
                         }
                     }
                 }
@@ -416,6 +524,8 @@ impl SmtSolver {
     fn record(&mut self, sat: &SatSolver, theory: &TheoryContext) {
         self.stats.decisions = sat.decisions();
         self.stats.conflicts = sat.conflicts();
+        self.stats.restarts = sat.restarts();
+        self.stats.clauses_deleted = sat.clauses_deleted();
         // Rebuilds fold the retired tableau's counters into the running
         // totals; add the live tableau's counts on top.
         self.stats.pivots += theory.simplex.pivots();
@@ -719,12 +829,12 @@ impl SmtSolver {
                 // plus the negated conclusion must be infeasible) before
                 // attaching. Propagated literals are few (tens to hundreds
                 // per query) so this stays off the hot path; a failed check
-                // signals pivot-degraded row data and simply skips the
-                // literal, which is always sound.
+                // signals pivot-degraded row data (threshold-constrained VSC
+                // queries reach this through propagation's robustness padding)
+                // and simply skips the literal, which is always sound.
                 let mut refutation: Vec<usize> = bound.explanation.to_vec();
                 refutation.push(lit.negated().index());
                 if self.explanation_feasible(&refutation) {
-                    debug_assert!(false, "theory propagation derived a non-implied literal");
                     continue;
                 }
                 if sat.propagate_theory_literal(lit, &antecedents) {
@@ -1004,6 +1114,53 @@ mod tests {
         // conflict or reports exhaustion; both are acceptable, but it must not
         // loop forever.
         let _ = solver.check();
+    }
+
+    #[test]
+    fn push_pop_restores_assertions() {
+        let (pool, x, _) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        assert!(solver.check().unwrap().is_sat());
+        solver.push();
+        solver.assert(Formula::atom(LinExpr::var(x).le(0.0)));
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+        solver.pop();
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(x) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn nested_scopes_pop_in_lifo_order() {
+        let (pool, x, y) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(x).ge(0.0)));
+        solver.push();
+        solver.assert(Formula::atom(LinExpr::var(y).ge(5.0)));
+        solver.push();
+        solver.assert(Formula::atom(LinExpr::var(y).le(4.0)));
+        assert_eq!(solver.scope_depth(), 2);
+        assert_eq!(solver.check().unwrap(), CheckResult::Unsat);
+        solver.pop();
+        let model = solver.check().unwrap().expect_sat();
+        assert!(model.value(y) >= 5.0 - 1e-9);
+        solver.pop();
+        assert_eq!(solver.scope_depth(), 0);
+        assert!(solver.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn warm_checks_report_scope_reuse() {
+        let (pool, x, _) = pool2();
+        let mut solver = SmtSolver::new(pool);
+        solver.assert(Formula::atom(LinExpr::var(x).ge(1.0)));
+        solver.check().unwrap();
+        assert_eq!(solver.stats().scopes_reused, 0, "first check is cold");
+        solver.push();
+        solver.assert(Formula::atom(LinExpr::var(x).le(3.0)));
+        solver.check().unwrap();
+        assert_eq!(solver.stats().scopes_reused, 1, "second check is warm");
+        solver.pop();
     }
 
     #[test]

@@ -33,6 +33,33 @@ pub struct CnfBuilder {
     true_var: Option<usize>,
 }
 
+/// Snapshot of a [`CnfBuilder`]'s state, taken by [`CnfBuilder::mark`] and
+/// restored by [`CnfBuilder::release_to`] — the substrate of the solver's
+/// `push`/`pop` assertion scopes. A mark records how many atoms, clauses and
+/// Boolean variables existed when it was taken; releasing to it removes
+/// everything allocated since, including the dedup-map entries pointing at
+/// the removed objects (so a constraint first seen inside a released scope
+/// is re-encoded from scratch if it reappears later).
+#[derive(Debug, Clone, Copy)]
+pub struct CnfMark {
+    atoms: usize,
+    clauses: usize,
+    bool_vars: usize,
+    had_true_var: bool,
+}
+
+impl CnfMark {
+    /// Number of theory atoms that existed when the mark was taken.
+    pub fn atoms(&self) -> usize {
+        self.atoms
+    }
+
+    /// Number of Boolean variables that existed when the mark was taken.
+    pub fn bool_vars(&self) -> usize {
+        self.bool_vars
+    }
+}
+
 /// Hashable canonical form of a constraint (bit-exact coefficients).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct AtomKey {
@@ -100,6 +127,42 @@ impl CnfBuilder {
     pub fn assert_formula(&mut self, formula: &Formula) {
         let root = self.encode_inner(formula);
         self.clauses.push(vec![root]);
+    }
+
+    /// Takes a snapshot of the builder state for a later
+    /// [`CnfBuilder::release_to`].
+    pub fn mark(&self) -> CnfMark {
+        CnfMark {
+            atoms: self.atoms.len(),
+            clauses: self.clauses.len(),
+            bool_vars: self.num_bool_vars,
+            had_true_var: self.true_var.is_some(),
+        }
+    }
+
+    /// Restores the builder to `mark`: every atom, clause and Boolean
+    /// variable allocated since the mark is removed, and the dedup maps are
+    /// purged of entries pointing at removed objects. Marks must be released
+    /// in LIFO order (releasing an older mark invalidates every younger one).
+    pub fn release_to(&mut self, mark: CnfMark) {
+        debug_assert!(
+            mark.atoms <= self.atoms.len()
+                && mark.clauses <= self.clauses.len()
+                && mark.bool_vars <= self.num_bool_vars,
+            "release_to with a mark younger than the current state"
+        );
+        self.atoms.truncate(mark.atoms);
+        self.atom_vars.truncate(mark.atoms);
+        self.clauses.truncate(mark.clauses);
+        self.atom_index.retain(|_, idx| *idx < mark.atoms);
+        self.var_atom.retain(|var, _| *var < mark.bool_vars);
+        self.free_bool_vars.retain(|_, var| *var < mark.bool_vars);
+        self.num_bool_vars = mark.bool_vars;
+        // `true_var`, once allocated, never changes — so if it was absent at
+        // the mark, any current one was allocated inside the released scope.
+        if !mark.had_true_var {
+            self.true_var = None;
+        }
     }
 
     fn fresh_bool_var(&mut self) -> usize {

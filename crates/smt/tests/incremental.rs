@@ -10,58 +10,14 @@
 //! random witness point), which makes any `Infeasible` verdict on them an
 //! immediate soundness failure rather than a silent disagreement.
 
+mod testutil;
+
 use cps_linalg::SplitMix64;
 use cps_smt::simplex::{Simplex, SimplexResult};
-use cps_smt::{Constraint, LinExpr, VarId, VarPool};
+use cps_smt::Constraint;
+use testutil::{env_seed, Gen};
 
 const CASES: u64 = 300;
-
-struct Gen {
-    rng: SplitMix64,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Self {
-            rng: SplitMix64::new(seed),
-        }
-    }
-
-    /// A random constraint system over `n` fresh variables. When `witness`
-    /// is true, every constraint is generated to hold at a random point, so
-    /// the conjunction is feasible by construction.
-    fn system(&mut self, witness: bool) -> (VarPool, Vec<(Constraint, usize)>) {
-        let n = 2 + self.rng.usize_below(4);
-        let mut pool = VarPool::new();
-        let ids: Vec<VarId> = pool.fresh_block("x", n);
-        let point: Vec<f64> = (0..n).map(|_| self.rng.range(-3.0, 3.0)).collect();
-        let m = 3 + self.rng.usize_below(12);
-        let mut constraints = Vec::new();
-        for tag in 0..m {
-            let terms = 1 + self.rng.usize_below(3);
-            let mut expr = LinExpr::zero();
-            for _ in 0..terms {
-                let v = self.rng.usize_below(n);
-                expr.add_term(ids[v], self.rng.range(-2.0, 2.0));
-            }
-            let center = if witness {
-                expr.evaluate(&point)
-            } else {
-                self.rng.range(-4.0, 4.0)
-            };
-            let slack = self.rng.range(0.0, 1.0);
-            let constraint = match self.rng.usize_below(5) {
-                0 => expr.le(center + slack),
-                1 => expr.lt(center + slack + 0.001),
-                2 => expr.ge(center - slack),
-                3 => expr.gt(center - slack - 0.001),
-                _ => expr.eq_to(center),
-            };
-            constraints.push((constraint, tag));
-        }
-        (pool, constraints)
-    }
-}
 
 fn assert_model_satisfies(constraints: &[(Constraint, usize)], model: &[f64]) {
     for (constraint, tag) in constraints {
@@ -116,9 +72,9 @@ fn incremental_verdict(
 
 #[test]
 fn incremental_agrees_with_from_scratch_on_feasible_systems() {
-    let mut gen = Gen::new(0xFEA51B1E);
+    let mut gen = Gen::new(env_seed(0xFEA51B1E));
     for case in 0..CASES {
-        let (pool, constraints) = gen.system(true);
+        let (pool, constraints) = gen.constraint_system(true);
         match Simplex::check(pool.len(), &constraints) {
             SimplexResult::Feasible(model) => assert_model_satisfies(&constraints, &model),
             SimplexResult::Infeasible(tags) => {
@@ -134,11 +90,11 @@ fn incremental_agrees_with_from_scratch_on_feasible_systems() {
 
 #[test]
 fn incremental_agrees_with_from_scratch_on_arbitrary_systems() {
-    let mut gen = Gen::new(0xD1FF);
+    let mut gen = Gen::new(env_seed(0xD1FF));
     let mut feasible = 0usize;
     let mut infeasible = 0usize;
     for case in 0..CASES {
-        let (pool, constraints) = gen.system(false);
+        let (pool, constraints) = gen.constraint_system(false);
         let scratch = Simplex::check(pool.len(), &constraints);
         let mut rng = SplitMix64::new(0xCD + case);
         let incremental = incremental_verdict(&mut rng, pool.len(), &constraints);
@@ -161,10 +117,10 @@ fn incremental_agrees_with_from_scratch_on_arbitrary_systems() {
 
 #[test]
 fn infeasibility_explanations_are_conflicting_subsets() {
-    let mut gen = Gen::new(0xE1);
+    let mut gen = Gen::new(env_seed(0xE1));
     let mut checked = 0usize;
     for _ in 0..CASES {
-        let (pool, constraints) = gen.system(false);
+        let (pool, constraints) = gen.constraint_system(false);
         if let SimplexResult::Infeasible(tags) = Simplex::check(pool.len(), &constraints) {
             // The explanation must itself be infeasible (it is a conflicting
             // subset, not just a pointer into the input).

@@ -1,9 +1,10 @@
-//! Differential tests for the conflict-generalising theory engine: on
+//! Differential tests for the DPLL(T) engine configuration grid: on
 //! randomized Boolean combinations of linear constraints, every ablation
-//! corner of the DPLL(T) loop — theory propagation on/off crossed with
-//! incremental/from-scratch theory backends — must return the same SAT/UNSAT
-//! verdict, and satisfiable verdicts must come with models satisfying every
-//! asserted formula.
+//! corner — incremental/from-scratch theory backends × theory propagation ×
+//! Luby restarts × clause-database reduction, the full 16-corner grid of
+//! [`testutil::grid_configs`] — must return the same SAT/UNSAT verdict, and
+//! satisfiable verdicts must come with models satisfying every asserted
+//! formula.
 //!
 //! Half the systems are satisfiable **by construction** (every atom is
 //! generated against a random witness point and the Boolean structure keeps
@@ -11,106 +12,20 @@
 //! a soundness failure — the class of bug that would silently corrupt the
 //! paper's CEGIS certificates.
 
-use cps_linalg::SplitMix64;
-use cps_smt::{Formula, LinExpr, SmtSolver, SolverConfig, VarId, VarPool};
+mod testutil;
+
+use cps_smt::{Formula, SmtSolver, VarPool};
+use testutil::{env_seed, eval, grid_configs, Gen};
 
 const CASES: u64 = 120;
 
-struct Gen {
-    rng: SplitMix64,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Self {
-            rng: SplitMix64::new(seed),
-        }
-    }
-
-    fn atom(&mut self, ids: &[VarId], point: &[f64], witness: bool) -> Formula {
-        let terms = 1 + self.rng.usize_below(3);
-        let mut expr = LinExpr::zero();
-        for _ in 0..terms {
-            let v = self.rng.usize_below(ids.len());
-            expr.add_term(ids[v], self.rng.range(-2.0, 2.0));
-        }
-        let center = if witness {
-            expr.evaluate(point)
-        } else {
-            self.rng.range(-4.0, 4.0)
-        };
-        let slack = self.rng.range(0.05, 1.0);
-        let constraint = match self.rng.usize_below(5) {
-            0 => expr.le(center + slack),
-            1 => expr.lt(center + slack),
-            2 => expr.ge(center - slack),
-            3 => expr.gt(center - slack),
-            _ => expr.eq_to(center),
-        };
-        Formula::atom(constraint)
-    }
-
-    /// A random formula. With `witness` set, every atom holds at `point`, so
-    /// the whole formula is satisfied by the witness regardless of shape
-    /// (conjunctions and disjunctions of true parts stay true).
-    fn formula(&mut self, ids: &[VarId], point: &[f64], witness: bool, depth: usize) -> Formula {
-        if depth == 0 || self.rng.usize_below(3) == 0 {
-            return self.atom(ids, point, witness);
-        }
-        let parts: Vec<Formula> = (0..2 + self.rng.usize_below(2))
-            .map(|_| self.formula(ids, point, witness, depth - 1))
-            .collect();
-        if self.rng.usize_below(2) == 0 {
-            Formula::and(parts)
-        } else {
-            Formula::or(parts)
-        }
-    }
-
-    fn system(&mut self, witness: bool) -> (VarPool, Vec<Formula>) {
-        let n = 2 + self.rng.usize_below(3);
-        let mut pool = VarPool::new();
-        let ids = pool.fresh_block("x", n);
-        let point: Vec<f64> = (0..n).map(|_| self.rng.range(-3.0, 3.0)).collect();
-        let m = 2 + self.rng.usize_below(5);
-        let formulas = (0..m)
-            .map(|_| self.formula(&ids, &point, witness, 2))
-            .collect();
-        (pool, formulas)
-    }
-}
-
-/// Evaluates a propagation-test formula (no free Boolean variables are
-/// generated) at a real-valued model.
-fn eval(f: &Formula, values: &[f64]) -> bool {
-    match f {
-        Formula::True => true,
-        Formula::False => false,
-        Formula::Atom(c) => c.holds(values),
-        Formula::Not(inner) => !eval(inner, values),
-        Formula::And(parts) => parts.iter().all(|p| eval(p, values)),
-        Formula::Or(parts) => parts.iter().any(|p| eval(p, values)),
-        Formula::BoolVar(_) => unreachable!("generator produces no free Boolean variables"),
-    }
-}
-
-/// The four ablation corners: (incremental_theory, theory_propagation).
-const CORNERS: [(bool, bool); 4] = [(true, true), (true, false), (false, true), (false, false)];
-
-fn corner_config(incremental: bool, propagation: bool) -> SolverConfig {
-    SolverConfig {
-        incremental_theory: incremental,
-        theory_propagation: propagation,
-        ..SolverConfig::default()
-    }
-}
-
+/// Runs every grid corner on the system; returns the per-corner verdicts and
+/// asserts model validity on each SAT verdict.
 fn check_all_corners(case: u64, pool: &VarPool, formulas: &[Formula]) -> Vec<bool> {
-    CORNERS
+    grid_configs()
         .iter()
-        .map(|&(incremental, propagation)| {
-            let mut solver =
-                SmtSolver::with_config(pool.clone(), corner_config(incremental, propagation));
+        .map(|(config, label)| {
+            let mut solver = SmtSolver::with_config(pool.clone(), *config);
             for f in formulas {
                 solver.assert(f.clone());
             }
@@ -119,8 +34,7 @@ fn check_all_corners(case: u64, pool: &VarPool, formulas: &[Formula]) -> Vec<boo
                     for f in formulas {
                         assert!(
                             eval(f, model.values()),
-                            "case {case} (incremental={incremental}, \
-                             propagation={propagation}): model violates {f}"
+                            "case {case} ({label}): model violates {f}"
                         );
                     }
                     true
@@ -132,10 +46,10 @@ fn check_all_corners(case: u64, pool: &VarPool, formulas: &[Formula]) -> Vec<boo
 }
 
 #[test]
-fn ablation_corners_agree_on_witnessed_systems() {
-    let mut gen = Gen::new(0x9A7E);
+fn grid_corners_agree_on_witnessed_systems() {
+    let mut gen = Gen::new(env_seed(0x9A7E));
     for case in 0..CASES {
-        let (pool, formulas) = gen.system(true);
+        let (pool, formulas) = gen.formula_system(true);
         let verdicts = check_all_corners(case, &pool, &formulas);
         assert!(
             verdicts.iter().all(|v| *v),
@@ -145,16 +59,16 @@ fn ablation_corners_agree_on_witnessed_systems() {
 }
 
 #[test]
-fn ablation_corners_agree_on_arbitrary_systems() {
-    let mut gen = Gen::new(0xD1CE);
+fn grid_corners_agree_on_arbitrary_systems() {
+    let mut gen = Gen::new(env_seed(0xD1CE));
     let mut sat = 0usize;
     let mut unsat = 0usize;
     for case in 0..CASES {
-        let (pool, formulas) = gen.system(false);
+        let (pool, formulas) = gen.formula_system(false);
         let verdicts = check_all_corners(case, &pool, &formulas);
         assert!(
             verdicts.iter().all(|v| *v == verdicts[0]),
-            "case {case}: ablation corners disagree: {verdicts:?}"
+            "case {case}: grid corners disagree: {verdicts:?}"
         );
         if verdicts[0] {
             sat += 1;

@@ -7,65 +7,12 @@
 //! workspace's shared [`cps_linalg::SplitMix64`] (seeded per test, so
 //! failures reproduce).
 
-use cps_linalg::SplitMix64;
+mod testutil;
+
 use cps_smt::{Formula, LinExpr, OptimizeOutcome, SmtSolver, VarId, VarPool};
+use testutil::{env_seed, Gen};
 
 const CASES: usize = 64;
-
-/// Deterministic case generator over the workspace's shared [`SplitMix64`].
-struct Gen {
-    rng: SplitMix64,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Self {
-            rng: SplitMix64::new(seed),
-        }
-    }
-
-    fn usize_below(&mut self, n: usize) -> usize {
-        self.rng.usize_below(n)
-    }
-
-    fn range(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.range(lo, hi)
-    }
-
-    /// A simple bound atom `±x_i ⋈ c` over the given variables.
-    fn atom(&mut self, ids: &[VarId]) -> Formula {
-        let var = self.usize_below(ids.len());
-        let bound = self.range(-5.0, 5.0);
-        let expr = LinExpr::var(ids[var]);
-        let constraint = match (self.rng.bool(), self.rng.bool()) {
-            (true, false) => expr.le(bound),
-            (true, true) => expr.lt(bound),
-            (false, false) => expr.ge(bound),
-            (false, true) => expr.gt(bound),
-        };
-        Formula::atom(constraint)
-    }
-
-    /// A random conjunction/disjunction/negation tree over bound atoms, with
-    /// the given remaining recursion depth.
-    fn formula(&mut self, ids: &[VarId], depth: usize) -> Formula {
-        if depth == 0 {
-            return self.atom(ids);
-        }
-        match self.usize_below(4) {
-            0 => {
-                let n = 1 + self.usize_below(3);
-                Formula::and((0..n).map(|_| self.formula(ids, depth - 1)).collect())
-            }
-            1 => {
-                let n = 1 + self.usize_below(3);
-                Formula::or((0..n).map(|_| self.formula(ids, depth - 1)).collect())
-            }
-            2 => Formula::not(self.formula(ids, depth - 1)),
-            _ => self.atom(ids),
-        }
-    }
-}
 
 /// A pool of `num_vars` variables `x0..` plus their ids (identical ids for
 /// identical `num_vars`, so formulas transfer between equally sized pools).
@@ -83,10 +30,10 @@ fn fresh_pool(num_vars: usize) -> VarPool {
 /// the asserted formula.
 #[test]
 fn sat_models_satisfy_the_formula() {
-    let mut g = Gen::new(0x5A7);
+    let mut g = Gen::new(env_seed(0x5A7));
     let (_, ids) = pool_and_ids(3);
     for _ in 0..CASES {
-        let formula = g.formula(&ids, 3);
+        let formula = g.bound_formula(&ids, 3);
         let mut solver = SmtSolver::new(fresh_pool(3));
         solver.assert(formula.clone());
         if let Ok(result) = solver.check() {
@@ -104,10 +51,10 @@ fn sat_models_satisfy_the_formula() {
 /// A formula and its negation can never both be unsatisfiable.
 #[test]
 fn formula_or_negation_is_sat() {
-    let mut g = Gen::new(0x9E6);
+    let mut g = Gen::new(env_seed(0x9E6));
     let (_, ids) = pool_and_ids(2);
     for _ in 0..CASES {
-        let formula = g.formula(&ids, 3);
+        let formula = g.bound_formula(&ids, 3);
         let verdict = |f: Formula| {
             let mut solver = SmtSolver::new(fresh_pool(2));
             solver.assert(f);
@@ -125,13 +72,13 @@ fn formula_or_negation_is_sat() {
 /// bound must not exceed the smallest upper bound.
 #[test]
 fn interval_conjunctions_match_closed_form() {
-    let mut g = Gen::new(0x17E);
+    let mut g = Gen::new(env_seed(0x17E));
     for _ in 0..CASES {
-        let lowers: Vec<f64> = (0..1 + g.usize_below(4))
-            .map(|_| g.range(-10.0, 10.0))
+        let lowers: Vec<f64> = (0..1 + g.rng.usize_below(4))
+            .map(|_| g.rng.range(-10.0, 10.0))
             .collect();
-        let uppers: Vec<f64> = (0..1 + g.usize_below(4))
-            .map(|_| g.range(-10.0, 10.0))
+        let uppers: Vec<f64> = (0..1 + g.rng.usize_below(4))
+            .map(|_| g.rng.range(-10.0, 10.0))
             .collect();
         let mut pool = VarPool::new();
         let x = pool.fresh("x");
@@ -154,13 +101,13 @@ fn interval_conjunctions_match_closed_form() {
 /// (the appropriate corner of the box).
 #[test]
 fn box_lp_optimum_matches_corner() {
-    let mut g = Gen::new(0xB0C5);
+    let mut g = Gen::new(env_seed(0xB0C5));
     for _ in 0..CASES {
-        let n = 2 + g.usize_below(2);
+        let n = 2 + g.rng.usize_below(2);
         let bounds: Vec<(f64, f64)> = (0..n)
-            .map(|_| (g.range(-5.0, 0.0), g.range(0.0, 5.0)))
+            .map(|_| (g.rng.range(-5.0, 0.0), g.rng.range(0.0, 5.0)))
             .collect();
-        let coeffs: Vec<f64> = (0..n).map(|_| g.range(-3.0, 3.0)).collect();
+        let coeffs: Vec<f64> = (0..n).map(|_| g.rng.range(-3.0, 3.0)).collect();
         let mut pool = VarPool::new();
         let vars: Vec<_> = (0..n).map(|i| pool.fresh(format!("x{i}"))).collect();
         let mut constraints = Vec::new();

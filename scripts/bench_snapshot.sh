@@ -13,7 +13,18 @@
 # that exist only on one side (new or retired) are reported but never fail
 # the gate.
 #
-# Usage: scripts/bench_snapshot.sh [output.json] [baseline.json]
+# Usage: scripts/bench_snapshot.sh <output.json> [baseline.json]
+#        scripts/bench_snapshot.sh --select-baseline <exclude.json>
+#
+# The output path is required (give an absolute path for scratch snapshots so
+# it lands outside the repo even though the script cd's to the repo root).
+# The default baseline is the highest-numbered BENCH_<n>.json in the repo
+# root, where <n> must be a bare decimal PR number — decoys like
+# `BENCH_4_old.json` or `BENCH_smoke.json` never match, and numbers compare
+# numerically so BENCH_10 beats BENCH_9. `--select-baseline` runs only that
+# selection logic against the *current* directory and prints the result (one
+# line, empty when nothing qualifies); the shell test drives it on synthetic
+# tmpdirs.
 #
 # The committed snapshots (BENCH_<pr>.json) form the repo's perf trajectory:
 # compare the current tree against the previous PR's snapshot before claiming
@@ -21,9 +32,37 @@
 # smoke runs (CI) should pair it with a loose CPS_BENCH_TOLERANCE, since
 # one-sample medians jitter far beyond any real regression signal.
 set -euo pipefail
+
+# Picks the committed snapshot with the highest bare-decimal PR number from
+# the current directory, skipping $1 (the snapshot being written).
+select_baseline() {
+    local exclude="$1" best_n=-1 best="" f n
+    for f in BENCH_*.json; do
+        [[ -e "$f" && "$f" != "$exclude" ]] || continue
+        n="${f#BENCH_}"
+        n="${n%.json}"
+        [[ "$n" =~ ^[0-9]+$ ]] || continue
+        if ((10#$n > best_n)); then
+            best_n=$((10#$n))
+            best="$f"
+        fi
+    done
+    printf '%s\n' "$best"
+}
+
+if [[ "${1:-}" == "--select-baseline" ]]; then
+    select_baseline "${2:-}"
+    exit 0
+fi
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <output.json> [baseline.json]" >&2
+    exit 2
+fi
+
 cd "$(dirname "$0")/.."
 
-out_file="${1:-BENCH_4.json}"
+out_file="$1"
 baseline="${2:-}"
 tolerance="${CPS_BENCH_TOLERANCE:-25}"
 noise_floor="${CPS_BENCH_NOISE_FLOOR_NS:-20000}"
@@ -43,8 +82,7 @@ echo "wrote $out_file:"
 cat "$out_file"
 
 if [[ -z "$baseline" ]]; then
-    baseline="$(ls BENCH_*.json 2>/dev/null | grep -vFx "$out_file" |
-        sort -t_ -k2 -n | tail -1 || true)"
+    baseline="$(select_baseline "$out_file")"
 fi
 if [[ -z "$baseline" || ! -f "$baseline" ]]; then
     echo "no baseline snapshot found; skipping regression gate"

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Tests the baseline-selection logic of scripts/bench_snapshot.sh via its
+# `--select-baseline` mode, which runs the real selection function against the
+# current directory without touching cargo. Each case builds a synthetic
+# directory of candidate and decoy snapshot files and checks the single line
+# the script prints.
+set -euo pipefail
+
+script="$(cd "$(dirname "$0")/.." && pwd)/bench_snapshot.sh"
+failures=0
+
+check() {
+    local label="$1" expected="$2" exclude="$3"
+    shift 3
+    local dir
+    dir="$(mktemp -d)"
+    local f
+    for f in "$@"; do
+        : > "$dir/$f"
+    done
+    local got
+    got="$(cd "$dir" && "$script" --select-baseline "$exclude")"
+    if [[ "$got" == "$expected" ]]; then
+        echo "ok: $label"
+    else
+        echo "FAIL: $label: expected '$expected', got '$got'" >&2
+        failures=$((failures + 1))
+    fi
+    rm -rf "$dir"
+}
+
+# The highest PR number wins, compared numerically: BENCH_10 beats BENCH_4
+# even though it sorts first lexicographically.
+check "numeric ordering beats lexicographic" "BENCH_10.json" "" \
+    BENCH_2.json BENCH_4.json BENCH_10.json
+
+# The snapshot being written never serves as its own baseline.
+check "output file is excluded" "BENCH_4.json" "BENCH_10.json" \
+    BENCH_2.json BENCH_4.json BENCH_10.json
+
+# Decoys whose suffix is not a bare decimal number are ignored entirely.
+check "non-numeric decoys are skipped" "BENCH_4.json" "" \
+    BENCH_4.json BENCH_4_old.json BENCH_smoke.json BENCH_.json BENCH_9x.json
+
+# Leading zeros still parse as decimal (no octal surprises in bash $((...))).
+check "leading zeros parse as decimal" "BENCH_010.json" "" \
+    BENCH_009.json BENCH_010.json BENCH_8.json
+
+# No qualifying snapshot at all: the selection is empty (the caller then
+# skips the regression gate).
+check "empty when nothing qualifies" "" "" BENCH_smoke.json notes.json
+
+# Excluding the only candidate also leaves nothing.
+check "empty when only candidate is excluded" "" "BENCH_6.json" BENCH_6.json
+
+if ((failures > 0)); then
+    echo "$failures selection test(s) failed" >&2
+    exit 1
+fi
+echo "all baseline-selection tests passed"

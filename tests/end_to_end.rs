@@ -159,6 +159,53 @@ fn vsc_exact_t14_stays_sat_under_every_engine_configuration() {
     }
 }
 
+/// Regression guard for PR 6's warm-started incremental CEGIS rounds: running
+/// the same short VSC threshold synthesis twice — once with a fresh solver
+/// per round, once with `incremental_rounds` reusing one solver through
+/// push/pop scopes — must produce *identical* thresholds, round counts and
+/// convergence flags. Warm starting is a perf lever, never a semantic one.
+#[test]
+fn vsc_warm_started_synthesis_matches_fresh_per_round_synthesis() {
+    let benchmark = cps_models::vsc().expect("model builds");
+    let run = |incremental_rounds: bool| {
+        let config = SynthesisConfig {
+            horizon_override: Some(14),
+            solver: cps_smt::SolverConfig {
+                incremental_rounds,
+                ..cps_smt::SolverConfig::default()
+            },
+            ..fast_config()
+        };
+        PivotSynthesizer::new(&benchmark, config)
+            .with_max_rounds(6)
+            .run()
+            .expect("synthesis runs")
+    };
+    let fresh = run(false);
+    let warm = run(true);
+    assert_eq!(
+        warm.partial, fresh.partial,
+        "warm-started rounds changed the synthesized thresholds"
+    );
+    assert_eq!(warm.rounds, fresh.rounds, "round counts diverged");
+    assert_eq!(
+        warm.converged, fresh.converged,
+        "convergence verdicts diverged"
+    );
+    assert_eq!(
+        warm.attacks_eliminated, fresh.attacks_eliminated,
+        "counterexample counts diverged"
+    );
+    assert_eq!(
+        fresh.solver_stats.scopes_reused, 0,
+        "fresh-per-round runs must never report scope reuse"
+    );
+    assert!(
+        warm.solver_stats.scopes_reused > 0,
+        "warm run reported no reused scopes — incremental_rounds is not engaging"
+    );
+}
+
 #[test]
 fn vsc_conjunctive_monitors_block_dead_zone_free_attackers() {
     // With monitors enforced at every instant (no dead-zone slack), the
