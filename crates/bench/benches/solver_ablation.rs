@@ -30,11 +30,19 @@
 //!    printed — at this horizon search time dominates the re-encoding that
 //!    warm starting saves, so the ratio is modest by design (warm starting is
 //!    *bit-identical* to fresh rounds; it can only save encoding work).
+//!
+//! PR 7 adds the robustness overhead row:
+//!
+//! 6. budget checking (`vsc_exact_governed_budget_checks`): the T=12 exact
+//!    query with a [`Budget`] armed on **every** axis — far-future deadline,
+//!    ample conflict and pivot caps — so each cooperative checkpoint runs its
+//!    full check but never trips. The gap to `vsc_exact_incremental_simplex`
+//!    is the whole cost of deadline/cancellation-safe solving (<1 % target).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cps_bench::{bench_config, first_round_threshold, print_row, vsc_exact_config};
-use cps_smt::{SolverConfig, SolverStats};
+use cps_smt::{Budget, SolverConfig, SolverStats};
 use criterion::{criterion_group, criterion_main, Criterion};
 use secure_cps::{AttackSynthesizer, LpAttackSynthesizer, PivotSynthesizer, SynthesisConfig};
 
@@ -263,6 +271,18 @@ fn bench(c: &mut Criterion) {
     group.bench_function("lp_attack_synthesis", |b| b.iter(|| lp.synthesize(None)));
     group.bench_function("vsc_exact_incremental_simplex", |b| {
         b.iter(|| vsc_incremental.synthesize(None).expect("query decided"))
+    });
+    // Runs back-to-back with the ungoverned row above so the pair shares
+    // cache/thermal state — the honest way to read a sub-1% delta.
+    let vsc_governed = AttackSynthesizer::new(&vsc, vsc_ablation_config(true, true));
+    vsc_governed.set_budget(
+        Budget::unlimited()
+            .with_timeout(Duration::from_secs(86_400))
+            .with_conflict_cap(u64::MAX / 2)
+            .with_pivot_cap(u64::MAX / 2),
+    );
+    group.bench_function("vsc_exact_governed_budget_checks", |b| {
+        b.iter(|| vsc_governed.synthesize(None).expect("query decided"))
     });
     group.bench_function("vsc_exact_from_scratch_simplex", |b| {
         b.iter(|| vsc_from_scratch.synthesize(None).expect("query decided"))

@@ -134,12 +134,15 @@ impl ClosedLoop {
     /// # Errors
     ///
     /// Returns [`ControlError::DimensionMismatch`] if `K` is not `m×n` or `L`
-    /// is not `n×p` for an `n`-state, `m`-input, `p`-output plant.
+    /// is not `n×p` for an `n`-state, `m`-input, `p`-output plant, and
+    /// [`ControlError::NonFinite`] if a gain entry is NaN or infinite.
     pub fn new(
         plant: StateSpace,
         controller_gain: Matrix,
         estimator_gain: Matrix,
     ) -> Result<Self, ControlError> {
+        crate::require_finite("controller gain K", &controller_gain)?;
+        crate::require_finite("estimator gain L", &estimator_gain)?;
         let (n, m, p) = (plant.num_states(), plant.num_inputs(), plant.num_outputs());
         if controller_gain.shape() != (m, n) {
             return Err(ControlError::DimensionMismatch(format!(

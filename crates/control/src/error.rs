@@ -11,6 +11,10 @@ pub enum ControlError {
     DimensionMismatch(String),
     /// A numerical routine from the linear-algebra substrate failed.
     Numerical(LinalgError),
+    /// A plant or gain matrix contains a NaN or infinite entry. Rejected at
+    /// construction so non-finite values cannot reach the SMT encoder, where
+    /// they would poison every assertion built from the model.
+    NonFinite(String),
 }
 
 impl fmt::Display for ControlError {
@@ -18,6 +22,7 @@ impl fmt::Display for ControlError {
         match self {
             ControlError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             ControlError::Numerical(err) => write!(f, "numerical failure: {err}"),
+            ControlError::NonFinite(msg) => write!(f, "non-finite entry: {msg}"),
         }
     }
 }

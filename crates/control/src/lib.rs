@@ -71,3 +71,17 @@ pub use error::ControlError;
 pub use noise::NoiseModel;
 pub use state_space::{ContinuousStateSpace, StateSpace};
 pub use trace::{ResidueNorm, Trace};
+
+/// Rejects matrices with NaN/infinite entries at construction boundaries, so
+/// non-finite model data fails fast instead of reaching the SMT encoder.
+pub(crate) fn require_finite(name: &str, m: &cps_linalg::Matrix) -> Result<(), ControlError> {
+    match m.as_slice().iter().position(|v| !v.is_finite()) {
+        Some(i) => Err(ControlError::NonFinite(format!(
+            "{name} entry ({}, {}) is {}",
+            i / m.cols().max(1),
+            i % m.cols().max(1),
+            m.as_slice()[i]
+        ))),
+        None => Ok(()),
+    }
+}

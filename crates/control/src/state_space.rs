@@ -38,8 +38,12 @@ impl StateSpace {
     /// # Errors
     ///
     /// Returns [`ControlError::DimensionMismatch`] if the matrices are not
-    /// conformable (`A` must be `n×n`, `B` `n×m`, `C` `p×n`, `D` `p×m`).
+    /// conformable (`A` must be `n×n`, `B` `n×m`, `C` `p×n`, `D` `p×m`) and
+    /// [`ControlError::NonFinite`] if any entry is NaN or infinite.
     pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> Result<Self, ControlError> {
+        for (name, m) in [("A", &a), ("B", &b), ("C", &c), ("D", &d)] {
+            crate::require_finite(name, m)?;
+        }
         if !a.is_square() {
             return Err(ControlError::DimensionMismatch(format!(
                 "A must be square, got {}x{}",
@@ -232,6 +236,20 @@ mod tests {
         assert!(StateSpace::new(a.clone(), Matrix::zeros(3, 1), c.clone(), d.clone()).is_err());
         assert!(StateSpace::new(a.clone(), b.clone(), Matrix::zeros(1, 3), d.clone()).is_err());
         assert!(StateSpace::new(a, b, c, Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn constructor_rejects_non_finite_entries() {
+        let b = Matrix::zeros(2, 1);
+        let c = Matrix::zeros(1, 2);
+        let d = Matrix::zeros(1, 1);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let a = Matrix::from_diag(&[1.0, bad]);
+            assert!(matches!(
+                StateSpace::new(a, b.clone(), c.clone(), d.clone()),
+                Err(ControlError::NonFinite(_))
+            ));
+        }
     }
 
     #[test]

@@ -3,9 +3,11 @@ use cps_detectors::ThresholdSpec;
 use cps_linalg::Vector;
 use cps_models::Benchmark;
 use cps_smt::{
-    BoolVarPool, CheckResult, Formula, LinExpr, SmtError, SmtSolver, SolverConfig, SolverStats,
+    BoolVarPool, Budget, CancelToken, CheckResult, Formula, LinExpr, SmtError, SmtSolver,
+    SolverConfig, SolverStats,
 };
 use std::cell::{Cell, RefCell};
+use std::time::Duration;
 
 use crate::UnrolledLoop;
 
@@ -72,6 +74,14 @@ pub struct SynthesisConfig {
     /// model fidelity; `UNSAT` certificates then cover attackers that keep
     /// this clearance.
     pub monitor_margin: f64,
+    /// Wall-clock budget for a **whole** CEGIS run (the paper's 12-hour Z3
+    /// timeout, made explicit). `None` (the default) leaves the run
+    /// unbounded. When set, [`PivotSynthesizer::run`](crate::PivotSynthesizer)
+    /// and [`StepwiseSynthesizer::run`](crate::StepwiseSynthesizer) convert it
+    /// into an absolute deadline at run start; an interrupted run degrades
+    /// gracefully, returning the best-so-far thresholds with
+    /// [`ConvergenceStatus::Interrupted`](crate::ConvergenceStatus).
+    pub timeout: Option<Duration>,
 }
 
 impl Default for SynthesisConfig {
@@ -83,6 +93,7 @@ impl Default for SynthesisConfig {
             convergence_margin: 0.05,
             monitor_encoding: MonitorEncoding::Exact,
             monitor_margin: 1e-6,
+            timeout: None,
         }
     }
 }
@@ -116,7 +127,7 @@ impl SynthesizedAttack {
             .iter()
             .copied()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite residues"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty horizon")
     }
 }
@@ -142,6 +153,13 @@ pub struct AttackSynthesizer<'a> {
     /// once on first use, and each round's threshold constraints are wrapped
     /// in a `push`/`pop` scope. Stays `None` in fresh-per-round mode.
     warm_solver: RefCell<Option<SmtSolver>>,
+    /// Resource budget installed on the query solver before every check.
+    /// Because the deadline axis is absolute, one budget can bound a whole
+    /// CEGIS run spanning many queries.
+    budget: Cell<Budget>,
+    /// Cancellation token shared with every query solver, so an external
+    /// caller can abort a running synthesis from another thread.
+    cancel: CancelToken,
 }
 
 impl<'a> AttackSynthesizer<'a> {
@@ -156,7 +174,38 @@ impl<'a> AttackSynthesizer<'a> {
             unrolled,
             last_stats: Cell::new(SolverStats::default()),
             warm_solver: RefCell::new(None),
+            budget: Cell::new(Budget::unlimited()),
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Installs the resource budget applied to every subsequent query. The
+    /// deadline axis is absolute, so one budget bounds a whole CEGIS run.
+    pub fn set_budget(&self, budget: Budget) {
+        self.budget.set(budget);
+    }
+
+    /// The currently installed resource budget.
+    pub fn budget(&self) -> Budget {
+        self.budget.get()
+    }
+
+    /// A clone of the cancellation token observed by every query: calling
+    /// [`CancelToken::cancel`] on it (from any thread) makes a running
+    /// query unwind with
+    /// [`InterruptReason::Cancelled`](cps_smt::InterruptReason) at its next
+    /// cooperative checkpoint.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Drops the warm incremental solver, forcing the next query to rebuild
+    /// it from the symbolic unrolling. Used by the CEGIS run boundary after
+    /// catching a panic: whatever state the solver was in is discarded and
+    /// provably rebuilt from the CNF. Results are unaffected — warm and
+    /// fresh rounds are bit-identical by construction.
+    pub fn reset_warm_solver(&self) {
+        *self.warm_solver.borrow_mut() = None;
     }
 
     /// Solver statistics (theory checks, pivots, simplex time, …) of the most
@@ -194,8 +243,11 @@ impl<'a> AttackSynthesizer<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SmtError::BudgetExhausted`] when the per-query search budget
-    /// is spent before the query is decided.
+    /// Returns [`SmtError::Interrupted`] when the installed [`Budget`] (or
+    /// the conflict cap of [`SolverConfig::max_conflicts`]) is spent, the
+    /// deadline passes, or the [`CancelToken`] fires before the query is
+    /// decided; the error carries the interrupt reason and the statistics
+    /// gathered so far.
     pub fn synthesize(
         &self,
         threshold: Option<&[Option<f64>]>,
@@ -211,9 +263,15 @@ impl<'a> AttackSynthesizer<'a> {
                 *warm = Some(self.base_solver());
             }
             let solver = warm.as_mut().expect("warm solver just initialised");
+            // Re-install each round: the budget may have been re-armed (e.g.
+            // a run-level timeout) since the warm solver was built.
+            solver.set_budget(self.budget.get());
+            solver.set_cancel_token(self.cancel.clone());
             Self::check_round(solver, round_assertions, &self.last_stats)
         } else {
             let mut solver = self.base_solver();
+            solver.set_budget(self.budget.get());
+            solver.set_cancel_token(self.cancel.clone());
             Self::check_round(&mut solver, round_assertions, &self.last_stats)
         };
         match outcome? {

@@ -60,7 +60,9 @@ pub use far::{FarExperiment, FarReport};
 pub use lp_attack::LpAttackSynthesizer;
 pub use static_baseline::synthesize_static_threshold;
 pub use stepwise::StepwiseSynthesizer;
-pub use synthesis::{PivotSynthesizer, SynthesisError, SynthesisOutcome, SynthesisReport};
+pub use synthesis::{
+    ConvergenceStatus, PivotSynthesizer, SynthesisError, SynthesisOutcome, SynthesisReport,
+};
 
 /// Partial threshold vector used during synthesis: `None` means "no detector
 /// check at this instant" (the paper's `Th[i] = 0`), `Some(v)` means the

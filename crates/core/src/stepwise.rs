@@ -1,8 +1,15 @@
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use cps_models::Benchmark;
 use cps_smt::SolverStats;
 
-use crate::synthesis::{SynthesisOutcome, SynthesisReport, MIN_THRESHOLD};
-use crate::{AttackSynthesizer, PartialThreshold, SynthesisConfig};
+use crate::synthesis::{
+    arm_budget, cegis_query, panic_message, QueryOutcome, SynthesisOutcome, SynthesisReport,
+    MIN_THRESHOLD,
+};
+use crate::{
+    AttackSynthesizer, ConvergenceStatus, PartialThreshold, SynthesisConfig, SynthesisError,
+};
 
 /// Algorithm 3 — step-wise threshold synthesis.
 ///
@@ -65,27 +72,74 @@ impl<'a> StepwiseSynthesizer<'a> {
 
     /// Runs the CEGIS loop.
     ///
+    /// Degrades and recovers exactly like
+    /// [`PivotSynthesizer::run`](crate::PivotSynthesizer::run): a resource
+    /// interruption ends the run with [`ConvergenceStatus::Interrupted`] and
+    /// the best-so-far staircase, and a panic is caught at this boundary,
+    /// discards the warm solver and surfaces as
+    /// [`SynthesisError::Panicked`].
+    ///
     /// # Errors
     ///
-    /// Propagates solver-budget exhaustion from the Algorithm 1 queries.
+    /// [`SynthesisError::Solver`] for non-interruption solver failures and
+    /// [`SynthesisError::Panicked`] for a caught panic.
     pub fn run(&self) -> SynthesisOutcome {
+        let saved = self.synthesizer.budget();
+        self.synthesizer
+            .set_budget(arm_budget(saved, self.synthesizer.config().timeout));
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_inner()));
+        self.synthesizer.set_budget(saved);
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.synthesizer.reset_warm_solver();
+                Err(SynthesisError::Panicked(panic_message(payload)))
+            }
+        }
+    }
+
+    fn run_inner(&self) -> SynthesisOutcome {
         let horizon = self.synthesizer.horizon();
         let mut th: PartialThreshold = vec![None; horizon];
         let mut rounds = 0;
         let mut attacks = 0;
         let mut stats = SolverStats::default();
+        let mut round_stats = Vec::new();
+
+        let report = |partial: PartialThreshold,
+                      rounds: usize,
+                      attacks: usize,
+                      status: ConvergenceStatus,
+                      stats: SolverStats,
+                      round_stats: Vec<SolverStats>| {
+            Ok(SynthesisReport {
+                partial,
+                rounds,
+                attacks_eliminated: attacks,
+                converged: status.is_converged(),
+                status,
+                solver_stats: stats,
+                round_stats,
+            })
+        };
 
         // Can the monitors alone be bypassed?
-        let initial = self.synthesizer.synthesize(None)?;
-        stats.absorb(&self.synthesizer.last_solver_stats());
+        let initial = match cegis_query(&self.synthesizer, None, &mut stats, &mut round_stats)? {
+            QueryOutcome::Decided(result) => result,
+            QueryOutcome::Interrupted(reason) => {
+                let status = ConvergenceStatus::Interrupted { round: 0, reason };
+                return report(th, rounds, attacks, status, stats, round_stats);
+            }
+        };
         let Some(initial) = initial else {
-            return Ok(SynthesisReport {
-                partial: th,
+            return report(
+                th,
                 rounds,
-                attacks_eliminated: 0,
-                converged: true,
-                solver_stats: stats,
-            });
+                attacks,
+                ConvergenceStatus::Converged,
+                stats,
+                round_stats,
+            );
         };
         attacks += 1;
 
@@ -101,24 +155,35 @@ impl<'a> StepwiseSynthesizer<'a> {
         while last_covered + 1 < horizon {
             rounds += 1;
             if rounds > self.max_rounds {
-                return Ok(SynthesisReport {
-                    partial: th,
-                    rounds: rounds - 1,
-                    attacks_eliminated: attacks,
-                    converged: false,
-                    solver_stats: stats,
-                });
+                return report(
+                    th,
+                    rounds - 1,
+                    attacks,
+                    ConvergenceStatus::RoundLimit,
+                    stats,
+                    round_stats,
+                );
             }
-            let attack = self.synthesizer.synthesize(Some(&th))?;
-            stats.absorb(&self.synthesizer.last_solver_stats());
+            let attack =
+                match cegis_query(&self.synthesizer, Some(&th), &mut stats, &mut round_stats)? {
+                    QueryOutcome::Decided(result) => result,
+                    QueryOutcome::Interrupted(reason) => {
+                        let status = ConvergenceStatus::Interrupted {
+                            round: rounds,
+                            reason,
+                        };
+                        return report(th, rounds - 1, attacks, status, stats, round_stats);
+                    }
+                };
             let Some(attack) = attack else {
-                return Ok(SynthesisReport {
-                    partial: th,
+                return report(
+                    th,
                     rounds,
-                    attacks_eliminated: attacks,
-                    converged: true,
-                    solver_stats: stats,
-                });
+                    attacks,
+                    ConvergenceStatus::Converged,
+                    stats,
+                    round_stats,
+                );
             };
             attacks += 1;
             let z = &attack.residue_norms;
@@ -127,7 +192,7 @@ impl<'a> StepwiseSynthesizer<'a> {
             // clamped to the previous step height to keep the staircase
             // monotonically decreasing.
             let k = ((last_covered + 1)..horizon)
-                .max_by(|a, b| z[*a].partial_cmp(&z[*b]).expect("finite residues"))
+                .max_by(|a, b| z[*a].total_cmp(&z[*b]))
                 .expect("suffix is non-empty");
             let height = self.shrink(z[k]).min(current_height);
             for entry in th.iter_mut().take(k + 1).skip(last_covered + 1) {
@@ -141,24 +206,35 @@ impl<'a> StepwiseSynthesizer<'a> {
         loop {
             rounds += 1;
             if rounds > self.max_rounds {
-                return Ok(SynthesisReport {
-                    partial: th,
-                    rounds: rounds - 1,
-                    attacks_eliminated: attacks,
-                    converged: false,
-                    solver_stats: stats,
-                });
+                return report(
+                    th,
+                    rounds - 1,
+                    attacks,
+                    ConvergenceStatus::RoundLimit,
+                    stats,
+                    round_stats,
+                );
             }
-            let attack = self.synthesizer.synthesize(Some(&th))?;
-            stats.absorb(&self.synthesizer.last_solver_stats());
+            let attack =
+                match cegis_query(&self.synthesizer, Some(&th), &mut stats, &mut round_stats)? {
+                    QueryOutcome::Decided(result) => result,
+                    QueryOutcome::Interrupted(reason) => {
+                        let status = ConvergenceStatus::Interrupted {
+                            round: rounds,
+                            reason,
+                        };
+                        return report(th, rounds - 1, attacks, status, stats, round_stats);
+                    }
+                };
             let Some(attack) = attack else {
-                return Ok(SynthesisReport {
-                    partial: th,
+                return report(
+                    th,
                     rounds,
-                    attacks_eliminated: attacks,
-                    converged: true,
-                    solver_stats: stats,
-                });
+                    attacks,
+                    ConvergenceStatus::Converged,
+                    stats,
+                    round_stats,
+                );
             };
             attacks += 1;
             let z = &attack.residue_norms;
@@ -179,13 +255,14 @@ impl<'a> StepwiseSynthesizer<'a> {
                     // above the staircase (impossible for checked instants) or
                     // numerically zero: no cut can exclude it. Report the
                     // partial result instead of looping forever.
-                    return Ok(SynthesisReport {
-                        partial: th,
+                    return report(
+                        th,
                         rounds,
-                        attacks_eliminated: attacks,
-                        converged: false,
-                        solver_stats: stats,
-                    });
+                        attacks,
+                        ConvergenceStatus::Stalled,
+                        stats,
+                        round_stats,
+                    );
                 }
             }
         }

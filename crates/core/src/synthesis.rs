@@ -1,11 +1,16 @@
+use std::any::Any;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use cps_detectors::ThresholdSpec;
 use cps_models::Benchmark;
-use cps_smt::{SmtError, SolverStats};
+use cps_smt::{Budget, InterruptReason, SmtError, SolverStats};
 
-use crate::{partial_to_spec, AttackSynthesizer, PartialThreshold, SynthesisConfig};
+use crate::{
+    partial_to_spec, AttackSynthesizer, PartialThreshold, SynthesisConfig, SynthesizedAttack,
+};
 
 /// Smallest threshold value the synthesis algorithms will install. A floor
 /// avoids the degenerate "threshold zero" detector (which alarms on every
@@ -17,14 +22,26 @@ pub(crate) const MIN_THRESHOLD: f64 = 1e-6;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SynthesisError {
-    /// An Algorithm 1 query exhausted its search budget.
+    /// An Algorithm 1 query failed for a reason other than a resource
+    /// interruption (interruptions degrade gracefully into a report with
+    /// [`ConvergenceStatus::Interrupted`] instead of erroring).
     Solver(SmtError),
+    /// A panic escaped a synthesis run and was caught at the run boundary.
+    /// The warm solver is discarded so the next run rebuilds it from the
+    /// symbolic unrolling; the payload's message is preserved for diagnosis.
+    Panicked(String),
 }
 
 impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthesisError::Solver(err) => write!(f, "attack-synthesis query failed: {err}"),
+            SynthesisError::Panicked(message) => {
+                write!(
+                    f,
+                    "synthesis run panicked (solver state discarded): {message}"
+                )
+            }
         }
     }
 }
@@ -34,6 +51,97 @@ impl Error for SynthesisError {}
 impl From<SmtError> for SynthesisError {
     fn from(err: SmtError) -> Self {
         SynthesisError::Solver(err)
+    }
+}
+
+/// How a threshold-synthesis run ended (recorded in
+/// [`SynthesisReport::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvergenceStatus {
+    /// The final query returned an `UNSAT` certificate at the full analysis
+    /// horizon: no stealthy attack remains.
+    Converged,
+    /// The round limit stopped the loop before a certificate was obtained.
+    RoundLimit,
+    /// A counterexample admitted no progress (every residue numerically
+    /// zero, or no staircase cut can exclude it); looping further would
+    /// re-derive the same counterexample forever.
+    Stalled,
+    /// A query was interrupted — deadline, cancellation or a search cap —
+    /// and the loop degraded gracefully: every round completed before the
+    /// interruption is kept and the report carries the best-so-far
+    /// thresholds.
+    Interrupted {
+        /// The CEGIS round whose query was interrupted (0 = the initial
+        /// undefended-loop query).
+        round: usize,
+        /// Which budget axis tripped.
+        reason: InterruptReason,
+    },
+}
+
+impl ConvergenceStatus {
+    /// `true` for [`ConvergenceStatus::Converged`].
+    pub fn is_converged(self) -> bool {
+        matches!(self, ConvergenceStatus::Converged)
+    }
+}
+
+/// Converts a run-level [`SynthesisConfig::timeout`] into an absolute
+/// deadline on `budget`, keeping the earlier deadline when both are set.
+pub(crate) fn arm_budget(budget: Budget, timeout: Option<Duration>) -> Budget {
+    match timeout {
+        Some(timeout) => {
+            let deadline = Instant::now() + timeout;
+            let deadline = budget.deadline().map_or(deadline, |d| d.min(deadline));
+            budget.with_deadline(deadline)
+        }
+        None => budget,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One Algorithm 1 query as seen by the CEGIS loops: a decided verdict, or a
+/// typed interruption the loop absorbs into a graceful partial report.
+pub(crate) enum QueryOutcome {
+    /// The query was decided: a counterexample attack, or `None` for an
+    /// `UNSAT` certificate.
+    Decided(Option<SynthesizedAttack>),
+    /// The query was interrupted before a verdict.
+    Interrupted(InterruptReason),
+}
+
+/// Runs one Algorithm 1 query, folds its statistics into the running totals
+/// and the per-round log, and converts a typed interruption into
+/// [`QueryOutcome::Interrupted`]. Any other solver error propagates.
+pub(crate) fn cegis_query(
+    synthesizer: &AttackSynthesizer<'_>,
+    threshold: Option<&[Option<f64>]>,
+    stats: &mut SolverStats,
+    round_stats: &mut Vec<SolverStats>,
+) -> Result<QueryOutcome, SynthesisError> {
+    let result = synthesizer.synthesize(threshold);
+    // The per-query statistics are recorded even for an interrupted query
+    // (the solver sets them before unwinding), so interrupted work is
+    // attributable rather than silently discarded.
+    let last = synthesizer.last_solver_stats();
+    stats.absorb(&last);
+    round_stats.push(last);
+    match result {
+        Ok(attack) => Ok(QueryOutcome::Decided(attack)),
+        Err(SmtError::Interrupted { reason, .. }) => Ok(QueryOutcome::Interrupted(reason)),
+        Err(err) => Err(err.into()),
     }
 }
 
@@ -48,12 +156,21 @@ pub struct SynthesisReport {
     pub attacks_eliminated: usize,
     /// `true` when the final query proved that no stealthy attack remains —
     /// i.e. the run ended on a per-round **UNSAT certificate** at the full
-    /// analysis horizon; `false` when the round limit stopped the loop early.
+    /// analysis horizon. Equivalent to `status.is_converged()`; kept as a
+    /// field for ergonomic filtering.
     pub converged: bool,
+    /// How the run ended: certificate, round limit, stall, or a typed
+    /// interruption with the round it hit. A non-converged report still
+    /// carries the best-so-far thresholds of every completed round.
+    pub status: ConvergenceStatus,
     /// Solver statistics accumulated over every Algorithm 1 query of the run
     /// (including the certifying final UNSAT query), for perf attribution of
     /// the CEGIS loop as a whole.
     pub solver_stats: SolverStats,
+    /// Per-query statistics in execution order (index 0 is the initial
+    /// undefended-loop query). An interrupted query still contributes its
+    /// entry — the work done before the trip is attributable.
+    pub round_stats: Vec<SolverStats>,
 }
 
 impl SynthesisReport {
@@ -136,27 +253,76 @@ impl<'a> PivotSynthesizer<'a> {
 
     /// Runs the CEGIS loop.
     ///
+    /// A [`SynthesisConfig::timeout`] (or any budget installed via
+    /// [`AttackSynthesizer::set_budget`]) degrades gracefully: an interrupted
+    /// query ends the run with [`ConvergenceStatus::Interrupted`] and the
+    /// best-so-far thresholds of every completed round. Panics anywhere in
+    /// the run are caught at this boundary, the warm solver is discarded (the
+    /// next run rebuilds it from the symbolic unrolling), and the panic
+    /// surfaces as [`SynthesisError::Panicked`].
+    ///
     /// # Errors
     ///
-    /// Propagates solver-budget exhaustion from the Algorithm 1 queries.
+    /// [`SynthesisError::Solver`] for non-interruption solver failures (e.g.
+    /// a non-finite assertion) and [`SynthesisError::Panicked`] for a caught
+    /// panic. Resource interruptions are **not** errors.
     pub fn run(&self) -> SynthesisOutcome {
+        let saved = self.synthesizer.budget();
+        self.synthesizer
+            .set_budget(arm_budget(saved, self.synthesizer.config().timeout));
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_inner()));
+        self.synthesizer.set_budget(saved);
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.synthesizer.reset_warm_solver();
+                Err(SynthesisError::Panicked(panic_message(payload)))
+            }
+        }
+    }
+
+    fn run_inner(&self) -> SynthesisOutcome {
         let horizon = self.synthesizer.horizon();
         let mut th: PartialThreshold = vec![None; horizon];
         let mut rounds = 0;
         let mut attacks = 0;
         let mut stats = SolverStats::default();
+        let mut round_stats = Vec::new();
+
+        let report = |partial: PartialThreshold,
+                      rounds: usize,
+                      attacks: usize,
+                      status: ConvergenceStatus,
+                      stats: SolverStats,
+                      round_stats: Vec<SolverStats>| {
+            Ok(SynthesisReport {
+                partial,
+                rounds,
+                attacks_eliminated: attacks,
+                converged: status.is_converged(),
+                status,
+                solver_stats: stats,
+                round_stats,
+            })
+        };
 
         // Line 3: can the existing monitors alone be bypassed?
-        let initial = self.synthesizer.synthesize(None)?;
-        stats.absorb(&self.synthesizer.last_solver_stats());
+        let initial = match cegis_query(&self.synthesizer, None, &mut stats, &mut round_stats)? {
+            QueryOutcome::Decided(result) => result,
+            QueryOutcome::Interrupted(reason) => {
+                let status = ConvergenceStatus::Interrupted { round: 0, reason };
+                return report(th, rounds, attacks, status, stats, round_stats);
+            }
+        };
         let Some(initial) = initial else {
-            return Ok(SynthesisReport {
-                partial: th,
+            return report(
+                th,
                 rounds,
-                attacks_eliminated: 0,
-                converged: true,
-                solver_stats: stats,
-            });
+                attacks,
+                ConvergenceStatus::Converged,
+                stats,
+                round_stats,
+            );
         };
         attacks += 1;
         // Lines 4–5: pivot at the instant of maximum residue.
@@ -166,24 +332,35 @@ impl<'a> PivotSynthesizer<'a> {
         loop {
             rounds += 1;
             if rounds > self.max_rounds {
-                return Ok(SynthesisReport {
-                    partial: th,
-                    rounds: rounds - 1,
-                    attacks_eliminated: attacks,
-                    converged: false,
-                    solver_stats: stats,
-                });
+                return report(
+                    th,
+                    rounds - 1,
+                    attacks,
+                    ConvergenceStatus::RoundLimit,
+                    stats,
+                    round_stats,
+                );
             }
-            let attack = self.synthesizer.synthesize(Some(&th))?;
-            stats.absorb(&self.synthesizer.last_solver_stats());
+            let attack =
+                match cegis_query(&self.synthesizer, Some(&th), &mut stats, &mut round_stats)? {
+                    QueryOutcome::Decided(result) => result,
+                    QueryOutcome::Interrupted(reason) => {
+                        let status = ConvergenceStatus::Interrupted {
+                            round: rounds,
+                            reason,
+                        };
+                        return report(th, rounds - 1, attacks, status, stats, round_stats);
+                    }
+                };
             let Some(attack) = attack else {
-                return Ok(SynthesisReport {
-                    partial: th,
+                return report(
+                    th,
                     rounds,
-                    attacks_eliminated: attacks,
-                    converged: true,
-                    solver_stats: stats,
-                });
+                    attacks,
+                    ConvergenceStatus::Converged,
+                    stats,
+                    round_stats,
+                );
             };
             attacks += 1;
             let z = &attack.residue_norms;
@@ -193,13 +370,14 @@ impl<'a> PivotSynthesizer<'a> {
                 // Every residue of the counterexample is numerically zero:
                 // no threshold adjustment can exclude it (see `MIN_THRESHOLD`).
                 // Report the partial result instead of looping forever.
-                return Ok(SynthesisReport {
-                    partial: th,
+                return report(
+                    th,
                     rounds,
-                    attacks_eliminated: attacks,
-                    converged: false,
-                    solver_stats: stats,
-                });
+                    attacks,
+                    ConvergenceStatus::Stalled,
+                    stats,
+                    round_stats,
+                );
             }
         }
     }
@@ -226,7 +404,7 @@ impl<'a> PivotSynthesizer<'a> {
             let Some(th_p) = th[p] else { continue };
             let candidate = (0..p)
                 .filter(|k| th[*k].is_none() && z[*k] >= th_p && z[*k] > MIN_THRESHOLD)
-                .max_by(|a, b| z[*a].partial_cmp(&z[*b]).expect("finite residues"));
+                .max_by(|a, b| z[*a].total_cmp(&z[*b]));
             if let Some(i) = candidate {
                 let value = self
                     .shrink(z[i])
@@ -251,7 +429,7 @@ impl<'a> PivotSynthesizer<'a> {
             }
             let candidate = ((p + 1)..horizon)
                 .filter(|k| th[*k].is_none() && z[*k] > MIN_THRESHOLD)
-                .max_by(|a, b| z[*a].partial_cmp(&z[*b]).expect("finite residues"));
+                .max_by(|a, b| z[*a].total_cmp(&z[*b]));
             if let Some(i) = candidate {
                 let later_ok = ((i + 1)..horizon).all(|k| th[k].is_none_or(|v| z[i] >= v));
                 if later_ok {
@@ -283,7 +461,7 @@ impl<'a> PivotSynthesizer<'a> {
             .min_by(|a, b| {
                 let da = th[*a].unwrap_or(f64::INFINITY) - z[*a];
                 let db = th[*b].unwrap_or(f64::INFINITY) - z[*b];
-                da.partial_cmp(&db).expect("finite residues")
+                da.total_cmp(&db)
             });
         let Some(i) = candidate else { return false };
         let value = self.shrink(z[i]).min(Self::min_before(th, i));
@@ -358,7 +536,9 @@ mod tests {
             rounds: 3,
             attacks_eliminated: 3,
             converged: true,
+            status: ConvergenceStatus::Converged,
             solver_stats: cps_smt::SolverStats::default(),
+            round_stats: Vec::new(),
         };
         assert!(report.is_monotone_decreasing());
         let spec = report.threshold_spec();
@@ -370,7 +550,9 @@ mod tests {
             rounds: 1,
             attacks_eliminated: 1,
             converged: true,
+            status: ConvergenceStatus::Converged,
             solver_stats: cps_smt::SolverStats::default(),
+            round_stats: Vec::new(),
         };
         assert!(!bad.is_monotone_decreasing());
     }

@@ -38,7 +38,7 @@ mod threshold;
 
 pub use baselines::{Chi2Detector, CusumDetector};
 pub use evaluation::{detection_rate, false_alarm_rate};
-pub use threshold::{ThresholdDetector, ThresholdSpec};
+pub use threshold::{ThresholdDetector, ThresholdError, ThresholdSpec};
 
 use cps_control::Trace;
 use cps_linalg::Vector;

@@ -1,7 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
 use cps_control::{ResidueNorm, Trace};
 use cps_linalg::Vector;
 
 use crate::{AlarmScan, Detector};
+
+/// A rejected threshold specification (see [`ThresholdSpec::try_variable`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThresholdError {
+    /// The specification covers no sampling instant.
+    Empty,
+    /// An entry is negative or NaN. `+∞` is *allowed* — it encodes "no check
+    /// at this instant" — but NaN makes every comparison silently false, so
+    /// it is rejected at the boundary.
+    Invalid {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::Empty => write!(f, "threshold vector must be non-empty"),
+            ThresholdError::Invalid { index, value } => {
+                write!(f, "threshold entry {index} is {value}; thresholds must be non-negative and not NaN")
+            }
+        }
+    }
+}
+
+impl Error for ThresholdError {}
 
 /// A threshold specification `Th`, mapping each sampling instant to the
 /// residue bound the detector compares against.
@@ -33,27 +66,54 @@ impl ThresholdSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `horizon` is zero or `value` is negative.
+    /// Panics if `horizon` is zero or `value` is negative or NaN; use
+    /// [`ThresholdSpec::try_constant`] for untrusted input.
     pub fn constant(value: f64, horizon: usize) -> Self {
-        assert!(horizon > 0, "threshold horizon must be positive");
-        assert!(value >= 0.0, "thresholds must be non-negative");
-        Self {
-            values: vec![value; horizon],
+        Self::try_constant(value, horizon).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ThresholdSpec::constant`] for untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// [`ThresholdError::Empty`] if `horizon` is zero,
+    /// [`ThresholdError::Invalid`] if `value` is negative or NaN (`+∞` is
+    /// allowed: it encodes "no check at this instant").
+    pub fn try_constant(value: f64, horizon: usize) -> Result<Self, ThresholdError> {
+        if horizon == 0 {
+            return Err(ThresholdError::Empty);
         }
+        Self::try_variable(vec![value; horizon])
     }
 
     /// A variable threshold from an explicit per-instant vector.
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty or contains a negative entry.
+    /// Panics if `values` is empty or contains a negative or NaN entry; use
+    /// [`ThresholdSpec::try_variable`] for untrusted input.
     pub fn variable(values: Vec<f64>) -> Self {
-        assert!(!values.is_empty(), "threshold vector must be non-empty");
-        assert!(
-            values.iter().all(|v| *v >= 0.0),
-            "thresholds must be non-negative"
-        );
-        Self { values }
+        Self::try_variable(values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ThresholdSpec::variable`] for untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// [`ThresholdError::Empty`] for an empty vector,
+    /// [`ThresholdError::Invalid`] for a negative or NaN entry (`+∞` is
+    /// allowed: it encodes "no check at this instant").
+    pub fn try_variable(values: Vec<f64>) -> Result<Self, ThresholdError> {
+        if values.is_empty() {
+            return Err(ThresholdError::Empty);
+        }
+        if let Some(index) = values.iter().position(|v| v.is_nan() || *v < 0.0) {
+            return Err(ThresholdError::Invalid {
+                index,
+                value: values[index],
+            });
+        }
+        Ok(Self { values })
     }
 
     /// The stored horizon length.
@@ -188,6 +248,29 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_threshold_is_rejected() {
         let _ = ThresholdSpec::variable(vec![0.1, -0.1]);
+    }
+
+    #[test]
+    fn try_constructors_reject_nan_but_allow_infinity() {
+        // NaN ≠ NaN, so match structurally instead of with assert_eq.
+        assert!(matches!(
+            ThresholdSpec::try_variable(vec![0.1, f64::NAN]),
+            Err(ThresholdError::Invalid { index: 1, value }) if value.is_nan()
+        ));
+        assert_eq!(
+            ThresholdSpec::try_constant(-0.5, 3),
+            Err(ThresholdError::Invalid {
+                index: 0,
+                value: -0.5
+            })
+        );
+        assert_eq!(
+            ThresholdSpec::try_constant(0.2, 0),
+            Err(ThresholdError::Empty)
+        );
+        // +∞ is a legitimate "no check at this instant" marker.
+        let spec = ThresholdSpec::try_variable(vec![f64::INFINITY, 0.3]).unwrap();
+        assert_eq!(spec.value_at(0), f64::INFINITY);
     }
 
     #[test]

@@ -111,6 +111,12 @@ impl Constraint {
         self.bound
     }
 
+    /// Returns `true` when the left-hand side and the bound are finite
+    /// (see [`LinExpr::is_finite`]).
+    pub fn is_finite(&self) -> bool {
+        self.bound.is_finite() && self.expr.is_finite()
+    }
+
     /// Returns the negation of this constraint as one or two atomic
     /// constraints (an equality negates to a disjunction of two strict
     /// inequalities).

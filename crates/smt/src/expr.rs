@@ -199,6 +199,15 @@ impl LinExpr {
         self.coeffs.is_empty()
     }
 
+    /// Returns `true` when every coefficient and the constant term are
+    /// finite. NaN and ±inf can enter through arithmetic on caller-supplied
+    /// data (note that NaN slips past the tiny-coefficient drop, whose
+    /// comparison it fails); the solver uses this check to reject non-finite
+    /// assertions at its API boundary instead of feeding them to the tableau.
+    pub fn is_finite(&self) -> bool {
+        self.constant.is_finite() && self.coeffs.values().all(|c| c.is_finite())
+    }
+
     /// Evaluates the expression under the given dense assignment
     /// (`assignment[i]` is the value of variable `i`).
     ///

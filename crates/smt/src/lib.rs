@@ -99,8 +99,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 mod constraint;
 mod expr;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod formula;
 pub mod optimize;
 pub mod sat;
@@ -108,8 +111,11 @@ pub mod simplex;
 mod solver;
 pub mod tseitin;
 
+pub use budget::{Budget, CancelToken, InterruptReason};
 pub use constraint::{Constraint, RelOp};
 pub use expr::{LinExpr, VarId, VarPool};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultPlan, FaultSpec};
 pub use formula::{BoolVarPool, Formula};
 pub use optimize::{maximize, minimize, OptimizeOutcome};
 pub use solver::{CheckResult, Model, SmtError, SmtSolver, SolverConfig, SolverStats};

@@ -22,6 +22,9 @@
 //! (exempt from reduction — re-deriving them would repeat simplex work).
 
 use std::fmt;
+use std::sync::Arc;
+
+use crate::budget::{Governor, InterruptReason};
 
 /// A propositional literal: a Boolean variable together with a polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -300,6 +303,10 @@ pub struct SatSolver {
     /// Additive clause-activity increment (decayed geometrically, like
     /// variable activities but with a slower constant).
     clause_act_inc: f64,
+    /// Budget/cancellation governor installed by the DPLL(T) driver for the
+    /// duration of one `check`. Polled at conflict boundaries only, so the
+    /// ungoverned hot path pays a single `Option` test per conflict.
+    governor: Option<Arc<Governor>>,
 }
 
 impl SatSolver {
@@ -334,7 +341,14 @@ impl SatSolver {
             num_deletable: 0,
             learned_cap: INITIAL_LEARNED_CAP,
             clause_act_inc: 1.0,
+            governor: None,
         }
+    }
+
+    /// Installs the budget/cancellation governor polled at conflict
+    /// boundaries during [`SatSolver::solve_governed`].
+    pub(crate) fn set_governor(&mut self, governor: Arc<Governor>) {
+        self.governor = Some(governor);
     }
 
     /// Switches the scale-out mechanisms on or off: Luby restarts and
@@ -580,8 +594,7 @@ impl SatSolver {
         candidates.sort_by(|&a, &b| {
             let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
             ca.activity
-                .partial_cmp(&cb.activity)
-                .expect("clause activities are finite")
+                .total_cmp(&cb.activity)
                 .then(cb.lbd.cmp(&ca.lbd))
                 .then(a.cmp(&b))
         });
@@ -973,14 +986,33 @@ impl SatSolver {
 
     /// Self-contained propositional solve loop (no theory). Used by unit tests
     /// and as a fallback; returns `true` when satisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a governor was installed via `set_governor` and it trips;
+    /// governed callers use the crate-internal `solve_governed` instead.
     pub fn solve(&mut self) -> bool {
+        self.solve_governed()
+            .expect("solve() is only used without an installed governor")
+    }
+
+    /// [`SatSolver::solve`] with cooperative interruption: the installed
+    /// governor (if any) is polled after each conflict resolution, and a trip
+    /// surfaces as `Err` with the latched reason. Without a governor this is
+    /// exactly the ungoverned loop.
+    pub(crate) fn solve_governed(&mut self) -> Result<bool, InterruptReason> {
         if self.unsat {
-            return false;
+            return Ok(false);
         }
         loop {
             if let Some(conflict) = self.propagate() {
                 if !self.resolve_conflict(conflict) {
-                    return false;
+                    return Ok(false);
+                }
+                if let Some(governor) = &self.governor {
+                    if let Some(reason) = governor.check_conflicts(self.conflicts) {
+                        return Err(reason);
+                    }
                 }
                 if self.should_restart() {
                     self.restart();
@@ -990,7 +1022,7 @@ impl SatSolver {
                 continue;
             }
             match self.pick_branch_literal() {
-                None => return true,
+                None => return Ok(true),
                 Some(lit) => self.decide(lit),
             }
         }

@@ -31,7 +31,9 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
+use crate::budget::Governor;
 use crate::{Constraint, LinExpr, RelOp};
 
 /// Comparison tolerance on the real part of a [`Delta`] value.
@@ -76,6 +78,13 @@ const PROP_MAX_DEPTH: u8 = 3;
 /// conflict; the padding dwarfs the round-off of the short sums involved
 /// while staying far below the 1e-6 robustness margins of the CPS encodings.
 const PROP_PAD: f64 = 1e-9;
+
+/// Pivots between governor polls in [`Simplex::solve_bounded`]. One poll is
+/// two relaxed atomic loads (plus an `Instant::now()` when a deadline is
+/// set); batching 64 pivots between polls keeps the measured overhead on the
+/// pivot path well under 1% while still bounding the cancellation latency to
+/// a few microseconds of pivot work.
+const PIVOT_CHECK_BATCH: u64 = 64;
 
 /// A value of the form `real + delta·ε` where `ε` is an arbitrarily small
 /// positive infinitesimal, used to represent strict bounds exactly.
@@ -392,6 +401,12 @@ pub struct Simplex {
     /// Whether bound installs feed the worklist (see
     /// [`Simplex::set_bound_tracking`]).
     track_implied: bool,
+    /// Budget/cancellation governor installed by the DPLL(T) driver. Polled
+    /// every [`PIVOT_CHECK_BATCH`] pivots inside the solve loop; `None` (the
+    /// default, and always the case for [`Simplex::check`] and the
+    /// [`optimize`](crate::optimize) entry points) costs one branch per
+    /// batch boundary.
+    governor: Option<Arc<Governor>>,
 }
 
 impl Simplex {
@@ -415,7 +430,14 @@ impl Simplex {
             queue_pops: 0,
             dirty: Vec::new(),
             track_implied: false,
+            governor: None,
         }
+    }
+
+    /// Installs the budget/cancellation governor polled during the solve
+    /// loop. Pivot counts are reported to it in amortised batches.
+    pub(crate) fn set_governor(&mut self, governor: Arc<Governor>) {
+        self.governor = Some(governor);
     }
 
     /// Enables or disables the propagation worklist (disabled by default —
@@ -806,9 +828,25 @@ impl Simplex {
     ///
     /// Returns the tags of a conflicting bound configuration when the
     /// asserted conjunction is infeasible.
+    /// # Panics
+    ///
+    /// Panics if a governor installed via `set_governor` trips mid-solve;
+    /// governed callers use `solve_interruptible` instead. Ungoverned callers
+    /// ([`Simplex::check`], the [`optimize`](crate::optimize) entry points)
+    /// can never hit this.
     pub fn solve(&mut self) -> Result<(), Vec<usize>> {
+        self.solve_interruptible()
+            .expect("unbounded solve completes unless a governor trips")
+    }
+
+    /// [`Simplex::solve`] for governed callers: identical to the unbounded
+    /// solve (tiny pivots are permitted, so numerical degradation is never
+    /// reported), except that a governor trip — deadline, cancellation or
+    /// pivot budget — surfaces as `None` instead of a panic. The engine
+    /// remains usable after an interruption: the pending violation stays
+    /// queued and a later solve resumes the repair.
+    pub(crate) fn solve_interruptible(&mut self) -> Option<Result<(), Vec<usize>>> {
         self.solve_bounded(u64::MAX)
-            .expect("unbounded solve always completes")
     }
 
     /// [`Simplex::solve`] with a pivot budget: returns `None` when the budget
@@ -832,6 +870,22 @@ impl Simplex {
             if local_pivots >= max_pivots {
                 return None;
             }
+            // Amortised governor poll: report the completed batch and check
+            // deadline/cancellation/pivot-cap once per PIVOT_CHECK_BATCH
+            // pivots. Returning here is safe — no violation has been popped
+            // yet this iteration, so the queue state is intact for a resume.
+            if local_pivots % PIVOT_CHECK_BATCH == 0 {
+                if let Some(governor) = &self.governor {
+                    let batch = if local_pivots == 0 {
+                        0
+                    } else {
+                        PIVOT_CHECK_BATCH
+                    };
+                    if governor.note_pivots(batch).is_some() {
+                        return None;
+                    }
+                }
+            }
             let use_bland = local_pivots >= bland_switch as u64;
             local_pivots += 1;
             let violating = if use_bland {
@@ -842,17 +896,24 @@ impl Simplex {
             let Some((basic, needs_increase, magnitude)) = violating else {
                 return Some(Ok(()));
             };
-            let row = self.basic_row[basic].expect("violating variable is basic");
-            let target = if needs_increase {
-                self.lower[basic]
-                    .as_ref()
-                    .expect("lower bound violated")
-                    .value
+            // Queue discipline guarantees the popped variable is basic and
+            // its violated bound installed (`pop_violating` skips non-basic
+            // entries; `violation_of` compares against an installed bound).
+            // On the pivot path a broken invariant is reported as divergence
+            // — the caller rebuilds from the original constraints — rather
+            // than a panic inside the solve loop.
+            let Some(row) = self.basic_row[basic] else {
+                debug_assert!(false, "violating variable is not basic");
+                return None;
+            };
+            let violated = if needs_increase {
+                self.lower[basic].as_ref()
             } else {
-                self.upper[basic]
-                    .as_ref()
-                    .expect("upper bound violated")
-                    .value
+                self.upper[basic].as_ref()
+            };
+            let Some(target) = violated.map(|bound| bound.value) else {
+                debug_assert!(false, "violated bound is not installed");
+                return None;
             };
 
             // Find a nonbasic variable that can absorb the change (Bland's
@@ -935,6 +996,9 @@ impl Simplex {
             let Some(entering) = pivot else {
                 // No variable can move: the row is a certificate of infeasibility.
                 let mut explanation = Vec::new();
+                // Invariant (not merely defensive): the same bound was read
+                // successfully into `target` at the top of this iteration and
+                // pivot selection does not mutate bounds.
                 if needs_increase {
                     self.lower[basic]
                         .as_ref()
@@ -1200,6 +1264,9 @@ impl Simplex {
                 let rest = if hi_missing == 1 {
                     hi
                 } else {
+                    // Invariant: `hi_missing == 0` means pass 1 saw a
+                    // max-contribution for every term, and bounds are only
+                    // tightened (never removed) between the passes.
                     let own = self
                         .max_contribution(v, c)
                         .expect("no bound missing on the HI side")
@@ -1215,6 +1282,7 @@ impl Simplex {
                 let rest = if lo_missing == 1 {
                     lo
                 } else {
+                    // Invariant: mirror of the HI-side case above.
                     let own = self
                         .min_contribution(v, c)
                         .expect("no bound missing on the LO side")
@@ -1281,6 +1349,9 @@ impl Simplex {
             } else {
                 self.max_contribution(u, cu)
             };
+            // Invariant: a derivation for `var` only exists when every other
+            // term contributed to the interval sum (the missing-term
+            // accounting in `propagate_row`), so its bound is installed.
             contribution
                 .expect("contributing term is bounded")
                 .reason
@@ -1322,6 +1393,8 @@ impl Simplex {
                 eprintln!("  x{v} = {} cols {:?}", self.assignment[v], self.cols[v]);
             }
         }
+        // Invariant: the solve loop resolved `basic`'s row (with a defensive
+        // divergence fallback) before selecting `entering` from it.
         let row = self.basic_row[basic].expect("leaving variable is basic");
         let coeff = self.rows[row].coeff(entering);
         // Sub-PIVOT_EPS pivots are legal (the solve loop falls back to them

@@ -1,9 +1,11 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use std::collections::HashMap;
 
+use crate::budget::{Budget, CancelToken, Governor, InterruptReason};
 use crate::sat::{Lit, SatSolver};
 use crate::simplex::{ImpliedBound, Simplex};
 use crate::tseitin::{CnfBuilder, CnfMark};
@@ -18,8 +20,10 @@ const PIVOT_REBUILD_THRESHOLD: u64 = 50_000;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Maximum number of propositional + theory conflicts before the solver
-    /// gives up with [`SmtError::BudgetExhausted`]. This mirrors the per-query
-    /// timeout the paper applies to each Z3 call.
+    /// gives up with [`SmtError::Interrupted`]
+    /// ([`InterruptReason::ConflictBudget`]). This mirrors the per-query
+    /// timeout the paper applies to each Z3 call; a per-*run* wall-clock
+    /// deadline is set separately via [`SmtSolver::set_budget`].
     pub max_conflicts: u64,
     /// If non-zero, a theory consistency check also runs on the partial
     /// assignment every `partial_check_interval` decisions (in addition to the
@@ -174,15 +178,49 @@ impl SolverStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SmtError {
-    /// The conflict budget configured in [`SolverConfig`] was exhausted before
-    /// the query was decided.
-    BudgetExhausted,
+    /// The check stopped before deciding its query — "Unknown" as a
+    /// first-class verdict. The reason says which resource axis tripped
+    /// (wall-clock deadline, cancellation, conflict or pivot budget; see
+    /// [`Budget`] and [`CancelToken`]) and the carried statistics attribute
+    /// the work done up to the interruption. The solver's assertion store is
+    /// untouched: re-running [`SmtSolver::check`] with a larger budget
+    /// resumes from the CNF and returns the verdict the uninterrupted run
+    /// would have returned, bit-identically.
+    Interrupted {
+        /// Which budget axis (or cancellation) stopped the run.
+        reason: InterruptReason,
+        /// Statistics gathered up to the interruption.
+        stats: SolverStats,
+    },
+    /// An assertion containing a NaN or ±inf coefficient or bound was
+    /// rejected at the API boundary ([`SmtSolver::assert`]). Non-finite
+    /// values would otherwise propagate silently through the tableau and
+    /// poison every verdict; the error clears when the offending assertion
+    /// scope is popped.
+    NonFiniteAssertion,
+}
+
+impl SmtError {
+    /// The interrupt reason, when the error is an interruption.
+    pub fn interrupt_reason(&self) -> Option<InterruptReason> {
+        match self {
+            SmtError::Interrupted { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SmtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SmtError::BudgetExhausted => write!(f, "solver conflict budget exhausted"),
+            SmtError::Interrupted { reason, stats } => write!(
+                f,
+                "solver interrupted ({reason}) after {} conflicts / {} pivots",
+                stats.conflicts, stats.pivots
+            ),
+            SmtError::NonFiniteAssertion => {
+                write!(f, "assertion contains a non-finite coefficient or bound")
+            }
         }
     }
 }
@@ -321,6 +359,21 @@ pub struct SmtSolver {
     /// Total [`SmtSolver::check`] calls completed on this solver — the basis
     /// of the [`SolverStats::scopes_reused`] warm-round accounting.
     checks_completed: u64,
+    /// Resource budget applied to every check ([`SmtSolver::set_budget`]).
+    budget: Budget,
+    /// Cooperative cancellation flag shared with the caller.
+    cancel: CancelToken,
+    /// Per-check governor; rebuilt at the start of every [`SmtSolver::check`]
+    /// and consulted by the SAT core, the simplex and the theory-check layer.
+    governor: Option<Arc<Governor>>,
+    /// Scope depth at which a non-finite assertion was rejected, if any
+    /// (`Some(0)` poisons the solver permanently; deeper poisons clear when
+    /// the offending scope is popped).
+    poison_depth: Option<usize>,
+    /// Armed fault injector ([`SmtSolver::install_faults`]); shared with each
+    /// check's governor so fire counts persist across warm rounds.
+    #[cfg(feature = "fault-injection")]
+    faults: Option<Arc<std::sync::Mutex<crate::fault::FaultInjector>>>,
 }
 
 /// Minimum number of unassigned theory atoms for bound propagation to be
@@ -346,7 +399,56 @@ impl SmtSolver {
             stats: SolverStats::default(),
             scopes: Vec::new(),
             checks_completed: 0,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+            governor: None,
+            poison_depth: None,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
+    }
+
+    /// Installs a resource [`Budget`] applied to every subsequent
+    /// [`SmtSolver::check`]. The deadline is absolute, so one budget shared
+    /// across several checks (warm CEGIS rounds) bounds the whole run.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// A clone of the solver's cancellation token: cancel it from any thread
+    /// to make a running check unwind with [`InterruptReason::Cancelled`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replaces the solver's cancellation token (e.g. to share one token
+    /// across a portfolio of solvers).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Arms a deterministic fault-injection plan (see [`crate::fault`]).
+    /// Compiled only with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn install_faults(&mut self, plan: crate::fault::FaultPlan) {
+        self.faults = Some(Arc::new(std::sync::Mutex::new(
+            crate::fault::FaultInjector::new(plan),
+        )));
+    }
+
+    /// Total fault fires so far across the armed plan's kinds (see
+    /// [`crate::fault::FaultInjector::total_fires`]); `0` when no plan is
+    /// armed.
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_fires(&self) -> u32 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.lock().expect("fault injector lock").total_fires())
     }
 
     /// The variable pool the solver was created with.
@@ -360,7 +462,20 @@ impl SmtSolver {
     }
 
     /// Adds an assertion to the conjunction to be checked.
+    ///
+    /// An assertion containing a non-finite (NaN/±inf) coefficient or bound
+    /// is **rejected** instead of encoded: the solver records the poisoning
+    /// and every [`SmtSolver::check`] fails with
+    /// [`SmtError::NonFiniteAssertion`] until the scope holding the rejected
+    /// assertion is popped. Keeping `assert` infallible preserves the
+    /// builder-style call sites; the typed error surfaces at the
+    /// `Result`-returning boundary.
     pub fn assert(&mut self, formula: Formula) {
+        if !formula_is_finite(&formula) {
+            let depth = self.scopes.len();
+            self.poison_depth = Some(self.poison_depth.map_or(depth, |d| d.min(depth)));
+            return;
+        }
         self.cnf.assert_formula(&formula);
     }
 
@@ -387,6 +502,11 @@ impl SmtSolver {
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without a matching push");
         self.cnf.release_to(mark);
+        // Popping below the scope that saw a non-finite assertion retracts
+        // the poisoning along with the assertion.
+        if self.poison_depth.is_some_and(|d| self.scopes.len() < d) {
+            self.poison_depth = None;
+        }
     }
 
     /// Number of currently open assertion scopes.
@@ -398,23 +518,66 @@ impl SmtSolver {
     ///
     /// # Errors
     ///
-    /// Returns [`SmtError::BudgetExhausted`] when the configured conflict
-    /// budget is spent before the query is decided.
+    /// Returns [`SmtError::Interrupted`] when the installed [`Budget`] (or
+    /// the [`SolverConfig::max_conflicts`] conflict cap) is exhausted or the
+    /// [`CancelToken`] is cancelled before the query is decided, and
+    /// [`SmtError::NonFiniteAssertion`] when a non-finite assertion was
+    /// rejected and its scope is still open. Neither error corrupts the
+    /// assertion store: a later `check` (with a larger budget, or after the
+    /// poisoned scope is popped) behaves as if the failed one never ran.
     pub fn check(&mut self) -> Result<CheckResult, SmtError> {
         let result = self.check_inner();
         self.checks_completed += 1;
         result
     }
 
+    /// Builds the per-check governor from the installed budget, cancel token
+    /// and (under fault injection) the armed injector.
+    fn make_governor(&self) -> Arc<Governor> {
+        // The config-level conflict cap and the budget's compose: the
+        // smaller one trips first.
+        let mut budget = self.budget;
+        let cap = budget.max_conflicts.map_or(self.config.max_conflicts, |b| {
+            b.min(self.config.max_conflicts)
+        });
+        budget.max_conflicts = Some(cap);
+        #[allow(unused_mut)]
+        let mut governor = Governor::new(budget, self.cancel.clone());
+        #[cfg(feature = "fault-injection")]
+        {
+            governor.faults = self.faults.clone();
+        }
+        Arc::new(governor)
+    }
+
+    /// The latched interrupt reason of the current check, if any.
+    fn tripped(&self) -> Option<InterruptReason> {
+        self.governor.as_ref().and_then(|g| g.tripped())
+    }
+
+    /// The [`SmtError::Interrupted`] value for the current (tripped) check.
+    fn interrupted_error(&self) -> SmtError {
+        SmtError::Interrupted {
+            reason: self.tripped().unwrap_or(InterruptReason::Cancelled),
+            stats: self.stats,
+        }
+    }
+
     fn check_inner(&mut self) -> Result<CheckResult, SmtError> {
         self.stats = SolverStats::default();
+        if self.poison_depth.is_some() {
+            return Err(SmtError::NonFiniteAssertion);
+        }
         // A solver that already completed a check serves this one warm: its
         // accumulated base encoding is reused instead of re-encoded.
         if self.checks_completed > 0 {
             self.stats.scopes_reused = 1;
         }
+        let governor = self.make_governor();
+        self.governor = Some(Arc::clone(&governor));
         let mut sat = SatSolver::new(self.cnf.num_bool_vars());
         sat.enable_scale_out(self.config.restarts, self.config.clause_db_reduction);
+        sat.set_governor(Arc::clone(&governor));
         for clause in self.cnf.clauses() {
             sat.add_clause(clause.clone());
         }
@@ -422,24 +585,36 @@ impl SmtSolver {
             return Ok(CheckResult::Unsat);
         }
         // A query with no theory atoms at all (pure constants / free Boolean
-        // structure) is decided by the SAT core alone.
+        // structure) is decided by the SAT core alone (which polls the same
+        // governor at its conflict boundaries).
         if self.cnf.num_atoms() == 0 {
-            return Ok(if sat.solve() {
-                CheckResult::Sat(Model {
+            return match sat.solve_governed() {
+                Ok(true) => Ok(CheckResult::Sat(Model {
                     values: vec![0.0; self.vars.len()],
-                })
-            } else {
-                CheckResult::Unsat
-            });
+                })),
+                Ok(false) => Ok(CheckResult::Unsat),
+                Err(reason) => {
+                    self.stats.decisions = sat.decisions();
+                    self.stats.conflicts = sat.conflicts();
+                    Err(SmtError::Interrupted {
+                        reason,
+                        stats: self.stats,
+                    })
+                }
+            };
         }
 
-        let mut theory =
-            TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
+        let mut theory = self.fresh_theory();
         let mut decisions_since_check: u64 = 0;
         loop {
-            if sat.conflicts() >= self.config.max_conflicts {
+            // Cooperative checkpoint once per loop iteration — every conflict
+            // and restart boundary passes through here.
+            if let Some(reason) = governor.check_conflicts(sat.conflicts()) {
                 self.record(&sat, &theory);
-                return Err(SmtError::BudgetExhausted);
+                return Err(SmtError::Interrupted {
+                    reason,
+                    stats: self.stats,
+                });
             }
             if let Some(conflict) = sat.propagate() {
                 self.stats.conflicts += 1;
@@ -464,6 +639,10 @@ impl SmtSolver {
                         decisions_since_check = 0;
                         let trail_before = sat.trail().len();
                         match self.theory_check(&mut theory, &mut sat, false) {
+                            TheoryOutcome::Interrupted => {
+                                self.record(&sat, &theory);
+                                return Err(self.interrupted_error());
+                            }
                             TheoryOutcome::Consistent(_) => {
                                 // Theory propagation may have fixed literals
                                 // (possibly `lit` itself): return the picked
@@ -498,6 +677,10 @@ impl SmtSolver {
                 None => {
                     // Full propositional assignment: the theory has the last word.
                     match self.theory_check(&mut theory, &mut sat, true) {
+                        TheoryOutcome::Interrupted => {
+                            self.record(&sat, &theory);
+                            return Err(self.interrupted_error());
+                        }
                         TheoryOutcome::Consistent(values) => {
                             self.record(&sat, &theory);
                             return Ok(CheckResult::Sat(Model { values }));
@@ -539,6 +722,17 @@ impl SmtSolver {
         self.stats.queue_pops += theory.simplex.queue_pops();
     }
 
+    /// Builds a fresh theory context with the current check's governor
+    /// installed on its simplex (used at check start and on every rebuild).
+    fn fresh_theory(&self) -> TheoryContext {
+        let mut theory =
+            TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
+        if let Some(governor) = &self.governor {
+            theory.simplex.set_governor(Arc::clone(governor));
+        }
+        theory
+    }
+
     /// Runs a simplex feasibility check on the theory literals currently
     /// assigned by the SAT core.
     ///
@@ -569,12 +763,26 @@ impl SmtSolver {
                 self.stats.theory_rebuilds += 1;
             }
             self.fold_theory_counters(theory);
-            *theory =
-                TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
+            *theory = self.fresh_theory();
         }
         let low_water = sat.trail_low_water();
         sat.reset_trail_low_water();
         let mut outcome = self.sync_and_solve(theory, sat, low_water);
+        // A governed simplex reports an interruption as a bounded-solve
+        // failure; the latched reason distinguishes it from genuine
+        // divergence, which the rebuild below would otherwise retry forever.
+        if self.tripped().is_some() {
+            self.stats.simplex_nanos += started.elapsed().as_nanos() as u64;
+            return TheoryOutcome::Interrupted;
+        }
+        // Fault site: flip a feasible verdict to "diverged", driving the
+        // rebuild recovery path (bounded by the plan's fire cap).
+        #[cfg(feature = "fault-injection")]
+        if matches!(outcome, SolveOutcome::Feasible)
+            && self.governor.as_ref().is_some_and(|g| g.fault_divergence())
+        {
+            outcome = SolveOutcome::Diverged;
+        }
         // Theory propagation: on a consistent *partial* assignment, derive
         // implied bounds, fix decided atoms on the SAT trail and surface
         // derived-bound conflicts with generalised explanations. Skipped at
@@ -603,7 +811,17 @@ impl SmtSolver {
         let mut model: Option<Vec<f64>> = None;
         let needs_rebuild = match &outcome {
             SolveOutcome::Feasible if full => {
-                let values = self.padded_model(theory);
+                #[allow(unused_mut)]
+                let mut values = self.padded_model(theory);
+                // Fault site: corrupt model values *before* validation — the
+                // NaN/inf must be caught here and repaired by the rebuild
+                // below, never escape to the caller.
+                #[cfg(feature = "fault-injection")]
+                if let Some(governor) = &self.governor {
+                    for value in &mut values {
+                        *value = governor.fault_perturb(*value);
+                    }
+                }
                 let ok = self.model_consistent(sat, &values);
                 if ok {
                     model = Some(values);
@@ -619,15 +837,24 @@ impl SmtSolver {
                 self.stats.theory_rebuilds += 1;
             }
             self.fold_theory_counters(theory);
-            *theory =
-                TheoryContext::new(self.vars.len(), &self.cnf, self.config.theory_propagation);
+            *theory = self.fresh_theory();
             outcome = self.sync_and_solve(theory, sat, 0);
+            if self.tripped().is_some() {
+                self.stats.simplex_nanos += started.elapsed().as_nanos() as u64;
+                return TheoryOutcome::Interrupted;
+            }
             if matches!(outcome, SolveOutcome::Diverged) {
                 // Freshly rebuilt and still stuck: let the Bland-guarded
-                // unbounded solve finish the job.
-                outcome = match theory.simplex.solve() {
-                    Ok(()) => SolveOutcome::Feasible,
-                    Err(explanation) => SolveOutcome::Conflict(explanation),
+                // unbounded solve finish the job. It only fails to complete
+                // when the governor trips mid-solve.
+                outcome = match theory.simplex.solve_interruptible() {
+                    None => {
+                        debug_assert!(self.tripped().is_some(), "ungoverned unbounded solve");
+                        self.stats.simplex_nanos += started.elapsed().as_nanos() as u64;
+                        return TheoryOutcome::Interrupted;
+                    }
+                    Some(Ok(())) => SolveOutcome::Feasible,
+                    Some(Err(explanation)) => SolveOutcome::Conflict(explanation),
                 };
             }
             if full && matches!(outcome, SolveOutcome::Feasible) {
@@ -674,7 +901,13 @@ impl SmtSolver {
 
     /// Checks the concrete theory model against every atom literal on the
     /// SAT trail (using the original constraint expressions, not the tableau).
+    /// Non-finite values fail outright: a NaN/inf slot — pivot blow-up, or an
+    /// injected fault — must never reach a returned [`Model`], even on a
+    /// variable no asserted atom constrains.
     fn model_consistent(&self, sat: &SatSolver, values: &[f64]) -> bool {
+        if values.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
         sat.trail().iter().all(|lit| {
             let Some(atom_idx) = self.cnf.atom_of_var(lit.var()) else {
                 return true;
@@ -862,6 +1095,17 @@ impl SmtSolver {
     }
 }
 
+/// Recursive finiteness walk over a formula's atoms (the
+/// [`SmtSolver::assert`] boundary check).
+fn formula_is_finite(formula: &Formula) -> bool {
+    match formula {
+        Formula::True | Formula::False | Formula::BoolVar(_) => true,
+        Formula::Atom(constraint) => constraint.is_finite(),
+        Formula::Not(inner) => formula_is_finite(inner),
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().all(formula_is_finite),
+    }
+}
+
 /// Decides whether a derived bound on an atom's tableau variable fixes the
 /// atom's truth value. `scale · var ⋈ bound` is normalised to variable space
 /// exactly as in [`Simplex::assert_bound`]; only real-part dominance with a
@@ -902,6 +1146,10 @@ enum TheoryOutcome {
     /// full propositional assignment; partial checks carry an empty vector.
     Consistent(Vec<f64>),
     Conflict(Vec<Lit>),
+    /// The run governor tripped (deadline, cancellation or pivot budget)
+    /// during the theory check; the caller unwinds with
+    /// [`SmtError::Interrupted`].
+    Interrupted,
 }
 
 /// Raw verdict of one synchronise-and-solve pass, before conflict clauses
