@@ -1,0 +1,54 @@
+//! Streaming detection runtime throughput: traces/s and steps/s of the
+//! allocation-free `FarExperiment` engine over the five-plant benchmark zoo.
+//!
+//! Each plant is driven through a full FAR experiment (noise rollouts, the
+//! pfc / monitor filter and a fused three-detector scan) with the batched
+//! parallel lanes at their default width. The group reports two throughput
+//! rows per plant — trials per second and simulated closed-loop steps per
+//! second — via the criterion shim's `Throughput` support, so
+//! `scripts/bench_snapshot.sh` tracks them in the higher-is-better direction.
+
+use cps_control::ResidueNorm;
+use cps_detectors::{Chi2Detector, CusumDetector, Detector, ThresholdDetector, ThresholdSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use secure_cps::FarExperiment;
+
+/// Trials per experiment run. Large enough that per-run setup (thread spawn,
+/// scanner allocation) is amortised and the steady-state streaming loop
+/// dominates the measurement.
+const TRIALS: usize = 512;
+const SEED: u64 = 0xC0FFEE;
+
+fn bench(c: &mut Criterion) {
+    let zoo = cps_models::all_benchmarks().expect("benchmark zoo builds");
+    for benchmark in &zoo {
+        let threshold = ThresholdDetector::new(
+            ThresholdSpec::constant(0.05, benchmark.horizon),
+            ResidueNorm::Linf,
+        );
+        let chi2 = Chi2Detector::new(5, 0.01, ResidueNorm::L2);
+        let cusum = CusumDetector::new(0.02, 0.08, ResidueNorm::Linf);
+        let detectors: [(&str, &dyn Detector); 3] =
+            [("static", &threshold), ("chi2", &chi2), ("cusum", &cusum)];
+        let experiment = FarExperiment::new(benchmark, TRIALS, SEED);
+
+        let mut group = c.benchmark_group("streaming_far");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(TRIALS as u64));
+        group.bench_function(format!("{}_traces_per_s", benchmark.name), |b| {
+            b.iter(|| experiment.run(&detectors))
+        });
+        // Same engine, normalised by simulated steps instead of trials:
+        // comparable across plants with different horizons. (Monitor-alarmed
+        // trials abort early, so this is an upper bound on steps actually
+        // executed; the nominal noise level keeps discards rare.)
+        group.throughput(Throughput::Elements((TRIALS * benchmark.horizon) as u64));
+        group.bench_function(format!("{}_steps_per_s", benchmark.name), |b| {
+            b.iter(|| experiment.run(&detectors))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,6 +2,73 @@ use cps_linalg::{Matrix, Vector};
 
 use crate::{ControlError, NoiseModel, StateSpace, Trace};
 
+/// Reusable per-step scratch vectors for [`ClosedLoop::simulate_into`].
+///
+/// A `StepBuffers` owns every intermediate of the closed-loop update (state,
+/// estimate, control, noise, measurement, residue, next state/estimate). The
+/// buffers are sized lazily on first use; once warm, a rollout performs zero
+/// heap allocations for plants with at most [`cps_linalg::INLINE_CAP`]
+/// states/inputs/outputs — and even larger plants allocate only on the first
+/// rollout. Reuse one instance across rollouts (the FAR hot loop keeps one per
+/// evaluation lane).
+#[derive(Debug, Clone, Default)]
+pub struct StepBuffers {
+    x: Vector,
+    xhat: Vector,
+    err: Vector,
+    u: Vector,
+    w: Vector,
+    v: Vector,
+    y: Vector,
+    y_hat: Vector,
+    z: Vector,
+    x_next: Vector,
+    xhat_next: Vector,
+}
+
+impl StepBuffers {
+    /// Creates empty buffers (sized lazily by the first rollout).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current plant state `x_k` — after [`ClosedLoop::simulate_into`]
+    /// returns, the final state `x_T` (or `x_k` of the stopping step when the
+    /// observer ended the rollout early).
+    pub fn state(&self) -> &Vector {
+        &self.x
+    }
+
+    /// The current estimator state `x̂_k` (final estimate after a completed
+    /// rollout).
+    pub fn estimate(&self) -> &Vector {
+        &self.xhat
+    }
+}
+
+/// One streamed simulation step handed to the [`ClosedLoop::simulate_into`]
+/// observer. All fields borrow from the caller's [`StepBuffers`] and are only
+/// valid for the duration of the callback; clone what you need to keep.
+#[derive(Debug)]
+pub struct StepRecord<'a> {
+    /// Sampling instant `k` (counting from zero).
+    pub k: usize,
+    /// Plant state `x_k` at the start of the step.
+    pub state: &'a Vector,
+    /// Estimator state `x̂_k` at the start of the step.
+    pub estimate: &'a Vector,
+    /// Control input `u_k`.
+    pub control: &'a Vector,
+    /// (Possibly attacked) measurement `ỹ_k` as seen by the estimator.
+    pub measurement: &'a Vector,
+    /// Residue `z_k = ỹ_k − ŷ_k`.
+    pub residue: &'a Vector,
+    /// Next plant state `x_{k+1}`.
+    pub next_state: &'a Vector,
+    /// Next estimator state `x̂_{k+1}`.
+    pub next_estimate: &'a Vector,
+}
+
 /// Set-point of the closed loop: the state target `x_des` and the equilibrium
 /// input `u_eq` around which the state-feedback law regulates,
 /// `u_k = u_eq − K·(x̂_k − x_des)`.
@@ -97,6 +164,13 @@ impl SensorAttack {
             .get(k)
             .cloned()
             .unwrap_or_else(|| Vector::zeros(self.injections.first().map_or(0, Vector::len)))
+    }
+
+    /// Borrowed, allocation-free variant of [`SensorAttack::injection`]:
+    /// `None` beyond the recorded horizon (where `injection` materialises a
+    /// zero vector instead).
+    pub fn injection_at(&self, k: usize) -> Option<&Vector> {
+        self.injections.get(k)
     }
 
     /// All injection vectors.
@@ -218,7 +292,144 @@ impl ClosedLoop {
     ///   before they reach the estimator;
     /// * `seed` — noise seed, making rollouts reproducible and allowing a
     ///   paired attacked/attack-free comparison on the same noise realisation.
+    ///
+    /// Implemented on top of [`ClosedLoop::simulate_into`]; the retired
+    /// allocating loop survives as [`ClosedLoop::simulate_reference`] and the
+    /// two are asserted bit-identical by the differential test suite.
     pub fn simulate(
+        &self,
+        initial_state: &Vector,
+        steps: usize,
+        noise: &NoiseModel,
+        attack: Option<&SensorAttack>,
+        seed: u64,
+    ) -> Trace {
+        let mut states = Vec::with_capacity(steps + 1);
+        let mut estimates = Vec::with_capacity(steps + 1);
+        let mut measurements = Vec::with_capacity(steps);
+        let mut controls = Vec::with_capacity(steps);
+        let mut residues = Vec::with_capacity(steps);
+
+        states.push(initial_state.clone());
+        estimates.push(Vector::zeros(self.plant.num_states()));
+
+        let mut buffers = StepBuffers::new();
+        self.simulate_into(
+            initial_state,
+            steps,
+            noise,
+            attack,
+            seed,
+            &mut buffers,
+            |step| {
+                measurements.push(step.measurement.clone());
+                controls.push(step.control.clone());
+                residues.push(step.residue.clone());
+                states.push(step.next_state.clone());
+                estimates.push(step.next_estimate.clone());
+                true
+            },
+        );
+
+        Trace::new(states, estimates, measurements, controls, residues)
+    }
+
+    /// Streaming rollout: runs the same closed-loop update as
+    /// [`ClosedLoop::simulate`] but hands each step to `observe` instead of
+    /// materialising a [`Trace`], reusing the caller's [`StepBuffers`] so a
+    /// warm steady state performs zero heap allocations.
+    ///
+    /// `observe` receives a [`StepRecord`] borrowing the step's vectors and
+    /// returns `true` to continue; returning `false` stops the rollout after
+    /// the current step (the FAR engine stops a trial the moment its monitor
+    /// alarm fires). Returns the number of executed steps.
+    ///
+    /// Every arithmetic operation happens in the same order and association
+    /// as in [`ClosedLoop::simulate_reference`], so streamed quantities are
+    /// bit-identical to the materialised trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_state` has the wrong dimension.
+    pub fn simulate_into<F>(
+        &self,
+        initial_state: &Vector,
+        steps: usize,
+        noise: &NoiseModel,
+        attack: Option<&SensorAttack>,
+        seed: u64,
+        buffers: &mut StepBuffers,
+        mut observe: F,
+    ) -> usize
+    where
+        F: FnMut(&StepRecord<'_>) -> bool,
+    {
+        let n = self.plant.num_states();
+        assert_eq!(initial_state.len(), n, "initial state has wrong dimension");
+
+        buffers.x.copy_from(initial_state);
+        buffers.xhat.resize_zeroed(n);
+        buffers.xhat.as_mut_slice().fill(0.0);
+
+        for k in 0..steps {
+            // u_k = u_eq − K·(x̂_k − x_des)
+            buffers
+                .err
+                .assign_diff(&buffers.xhat, self.reference.x_des());
+            self.controller_gain
+                .mul_vec_into(&buffers.err, &mut buffers.u);
+            buffers.u.rsub_from(self.reference.u_eq());
+
+            noise.sample_into(seed, k, &mut buffers.w, &mut buffers.v);
+
+            // Sensor measurement ỹ_k = C·x + D·u + v (+ attacker injection).
+            self.plant
+                .output_into(&buffers.x, &buffers.u, &mut buffers.y);
+            buffers.y += &buffers.v;
+            if let Some(injection) = attack.and_then(|a| a.injection_at(k)) {
+                if !injection.is_empty() {
+                    buffers.y += injection;
+                }
+            }
+            self.plant
+                .output_into(&buffers.xhat, &buffers.u, &mut buffers.y_hat);
+            buffers.z.assign_diff(&buffers.y, &buffers.y_hat);
+
+            // Plant and estimator updates (the estimator sees only ỹ via z).
+            self.plant
+                .step_into(&buffers.x, &buffers.u, &mut buffers.x_next);
+            buffers.x_next += &buffers.w;
+            self.plant
+                .step_into(&buffers.xhat, &buffers.u, &mut buffers.xhat_next);
+            self.estimator_gain
+                .mul_vec_add_into(&buffers.z, &mut buffers.xhat_next);
+
+            let keep_going = observe(&StepRecord {
+                k,
+                state: &buffers.x,
+                estimate: &buffers.xhat,
+                control: &buffers.u,
+                measurement: &buffers.y,
+                residue: &buffers.z,
+                next_state: &buffers.x_next,
+                next_estimate: &buffers.xhat_next,
+            });
+
+            std::mem::swap(&mut buffers.x, &mut buffers.x_next);
+            std::mem::swap(&mut buffers.xhat, &mut buffers.xhat_next);
+
+            if !keep_going {
+                return k + 1;
+            }
+        }
+        steps
+    }
+
+    /// The pre-streaming allocating rollout, kept verbatim as the
+    /// differential baseline for [`ClosedLoop::simulate`] /
+    /// [`ClosedLoop::simulate_into`]: the `streaming_runtime` test suite
+    /// asserts the two produce bit-identical traces on every benchmark plant.
+    pub fn simulate_reference(
         &self,
         initial_state: &Vector,
         steps: usize,
@@ -411,6 +622,84 @@ mod tests {
     }
 
     #[test]
+    fn streaming_simulate_matches_reference_bit_for_bit() {
+        let closed_loop = double_integrator_loop();
+        let noise = NoiseModel::uniform_std(2, 1, 1e-3, 1e-3);
+        let steps = 40;
+        let attack = SensorAttack::new(
+            (0..20)
+                .map(|k| Vector::from_slice(&[0.02 * k as f64]))
+                .collect(),
+        );
+        for seed in [0, 7, 1234] {
+            for attack in [None, Some(&attack)] {
+                let streamed = closed_loop.simulate(
+                    &Vector::from_slice(&[0.5, -0.25]),
+                    steps,
+                    &noise,
+                    attack,
+                    seed,
+                );
+                let reference = closed_loop.simulate_reference(
+                    &Vector::from_slice(&[0.5, -0.25]),
+                    steps,
+                    &noise,
+                    attack,
+                    seed,
+                );
+                assert_eq!(streamed, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_into_observer_can_stop_early() {
+        let closed_loop = double_integrator_loop();
+        let noise = NoiseModel::uniform_std(2, 1, 1e-3, 1e-3);
+        let mut buffers = StepBuffers::new();
+        let mut seen = Vec::new();
+        let executed = closed_loop.simulate_into(
+            &Vector::zeros(2),
+            50,
+            &noise,
+            None,
+            3,
+            &mut buffers,
+            |step| {
+                seen.push(step.residue.clone());
+                step.k < 9
+            },
+        );
+        assert_eq!(executed, 10);
+        assert_eq!(seen.len(), 10);
+        let reference = closed_loop.simulate_reference(&Vector::zeros(2), 50, &noise, None, 3);
+        assert_eq!(seen.as_slice(), &reference.residues()[..10]);
+        // After the early stop the buffers hold the state of the stopping step.
+        assert_eq!(buffers.state(), &reference.states()[10]);
+        assert_eq!(buffers.estimate(), &reference.estimates()[10]);
+    }
+
+    #[test]
+    fn buffers_final_state_matches_trace_after_full_rollout() {
+        let closed_loop = double_integrator_loop();
+        let noise = NoiseModel::uniform_std(2, 1, 1e-4, 1e-3);
+        let mut buffers = StepBuffers::new();
+        let executed = closed_loop.simulate_into(
+            &Vector::zeros(2),
+            30,
+            &noise,
+            None,
+            11,
+            &mut buffers,
+            |_| true,
+        );
+        assert_eq!(executed, 30);
+        let trace = closed_loop.simulate_reference(&Vector::zeros(2), 30, &noise, None, 11);
+        assert_eq!(buffers.state(), trace.states().last().unwrap());
+        assert_eq!(buffers.estimate(), trace.estimates().last().unwrap());
+    }
+
+    #[test]
     fn attack_accessors() {
         let attack = SensorAttack::zeros(3, 2);
         assert_eq!(attack.len(), 3);
@@ -418,5 +707,7 @@ mod tests {
         assert_eq!(attack.max_magnitude(), 0.0);
         assert_eq!(attack.injection(2).len(), 2);
         assert_eq!(attack.injections().len(), 3);
+        assert_eq!(attack.injection_at(2), Some(&Vector::zeros(2)));
+        assert_eq!(attack.injection_at(3), None);
     }
 }

@@ -21,7 +21,9 @@
 //! - [`kalman_gain`] / [`lqr_gain`] — steady-state estimator and controller
 //!   design via the DARE solver from [`cps_linalg`],
 //! - [`ClosedLoop`] — the assembled loop, with [`ClosedLoop::simulate`]
-//!   producing a [`Trace`] under configurable noise and sensor attacks,
+//!   producing a [`Trace`] under configurable noise and sensor attacks, and
+//!   [`ClosedLoop::simulate_into`] streaming [`StepRecord`]s through reusable
+//!   [`StepBuffers`] for allocation-free evaluation hot loops,
 //! - [`SensorAttack`] — additive false-data injection sequences,
 //! - [`NoiseModel`] — independent Gaussian process/measurement noise,
 //! - [`ResidueNorm`] — the norm applied to residue vectors by detectors.
@@ -65,7 +67,7 @@ mod noise;
 mod state_space;
 mod trace;
 
-pub use closed_loop::{ClosedLoop, Reference, SensorAttack};
+pub use closed_loop::{ClosedLoop, Reference, SensorAttack, StepBuffers, StepRecord};
 pub use design::{kalman_gain, lqr_gain};
 pub use error::ControlError;
 pub use noise::NoiseModel;

@@ -76,19 +76,31 @@ impl NoiseModel {
     /// noise, which keeps simulations reproducible and lets paired experiments
     /// (with and without attack) share a noise realisation.
     pub fn sample(&self, seed: u64, step: usize) -> (Vector, Vector) {
+        let mut w = Vector::zeros(self.process_std.len());
+        let mut v = Vector::zeros(self.measurement_std.len());
+        self.sample_into(seed, step, &mut w, &mut v);
+        (w, v)
+    }
+
+    /// [`NoiseModel::sample`] written into caller-provided vectors, resizing
+    /// them if needed — allocation-free in steady state and bit-identical to
+    /// the allocating form (same RNG stream, same draw order: all process
+    /// components first, then all measurement components).
+    pub fn sample_into(&self, seed: u64, step: usize, w: &mut Vector, v: &mut Vector) {
         // Avalanche-mix the step before combining with the seed. A linear mix
         // (`step * G`) is NOT enough: G is also SplitMix64's state increment,
         // so per-step states would lie on the same additive orbit and nearby
         // steps would replay shifted copies of each other's stream.
         let step_mix = SplitMix64::new(step as u64).next_u64();
         let mut rng = SplitMix64::new(seed ^ step_mix);
-        let w = Vector::from_fn(self.process_std.len(), |i| {
-            gaussian(&mut rng) * self.process_std[i]
-        });
-        let v = Vector::from_fn(self.measurement_std.len(), |i| {
-            gaussian(&mut rng) * self.measurement_std[i]
-        });
-        (w, v)
+        w.resize_zeroed(self.process_std.len());
+        for (slot, std) in w.as_mut_slice().iter_mut().zip(&self.process_std) {
+            *slot = gaussian(&mut rng) * std;
+        }
+        v.resize_zeroed(self.measurement_std.len());
+        for (slot, std) in v.as_mut_slice().iter_mut().zip(&self.measurement_std) {
+            *slot = gaussian(&mut rng) * std;
+        }
     }
 }
 
@@ -161,6 +173,21 @@ mod tests {
                     w[1], w_next[0],
                     "seed {seed} step {step}: shifted stream replay"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_into_matches_sample_bit_for_bit() {
+        let noise = NoiseModel::uniform_std(3, 2, 0.1, 0.2);
+        let mut w = Vector::zeros(0);
+        let mut v = Vector::zeros(0);
+        for seed in [0, 7, 42] {
+            for step in 0..20 {
+                let (w_ref, v_ref) = noise.sample(seed, step);
+                noise.sample_into(seed, step, &mut w, &mut v);
+                assert_eq!(w, w_ref);
+                assert_eq!(v, v_ref);
             }
         }
     }

@@ -1,7 +1,8 @@
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::thread;
 
-use cps_control::Trace;
+use cps_control::{StepBuffers, Trace};
 use cps_detectors::Detector;
 use cps_models::Benchmark;
 
@@ -136,61 +137,147 @@ impl<'a> FarExperiment<'a> {
         slots.into_iter().flatten().collect()
     }
 
-    /// Runs the experiment against a set of named detectors.
+    /// Streams the trials of a contiguous lane through one set of reusable
+    /// buffers: one [`StepBuffers`], one monitor scanner and one detector
+    /// scanner per detector, all allocated once and reset per trial, so the
+    /// steady-state loop performs zero heap allocations and never
+    /// materialises a [`Trace`].
     ///
-    /// Detector evaluation is fused per trial: every detector's streaming
-    /// scanner ([`Detector::scanner`], allocated once, outside the trial
-    /// loop) is fed the trial's residues instant by instant, and the trial
-    /// is short-circuited the moment every detector in the suite has
-    /// alarmed. Verdicts — and therefore the reported rates — are identical
-    /// to evaluating each detector independently with
-    /// [`cps_detectors::false_alarm_rate`].
-    pub fn run(&self, detectors: &[(&str, &dyn Detector)]) -> FarReport {
-        let kept = self.noise_traces();
-        let mut alarms = vec![0usize; detectors.len()];
-        // Hoisted out of the trial loop: scanner state and per-trial flags.
+    /// Per trial the rollout observer feeds each measurement to the monitor
+    /// scan (a monitor alarm aborts the rollout — the trial is discarded
+    /// either way) and each residue to every not-yet-alarmed detector
+    /// scanner. After a completed rollout the performance criterion is
+    /// checked on the final state; detector alarm flags only count once the
+    /// trial is confirmed kept, exactly as when scanning materialised kept
+    /// traces.
+    fn scan_range(&self, trials: Range<usize>, detectors: &[(&str, &dyn Detector)]) -> LaneOutcome {
+        let mut outcome = LaneOutcome {
+            kept: 0,
+            alarms: vec![0usize; detectors.len()],
+        };
+        let mut buffers = StepBuffers::new();
+        let mut monitor_scan = self.benchmark.monitors.scanner();
         let mut scanners: Vec<_> = detectors.iter().map(|(_, d)| d.scanner()).collect();
         let mut alarmed = vec![false; detectors.len()];
-        if !scanners.is_empty() {
-            for trace in &kept {
-                for scanner in &mut scanners {
-                    scanner.reset();
-                }
-                alarmed.fill(false);
-                let mut pending = scanners.len();
-                'instants: for (k, residue) in trace.residues().iter().enumerate() {
-                    for (i, scanner) in scanners.iter_mut().enumerate() {
-                        if !alarmed[i] && scanner.step(k, residue) {
-                            alarmed[i] = true;
-                            alarms[i] += 1;
-                            pending -= 1;
-                            if pending == 0 {
-                                break 'instants;
+        let horizon = self.benchmark.horizon;
+        for trial in trials {
+            monitor_scan.reset();
+            for scanner in &mut scanners {
+                scanner.reset();
+            }
+            alarmed.fill(false);
+            let mut pending = scanners.len();
+            let mut monitor_alarm = false;
+            self.benchmark.closed_loop.simulate_into(
+                &self.benchmark.initial_state,
+                horizon,
+                &self.benchmark.noise,
+                None,
+                self.seed.wrapping_add(trial as u64),
+                &mut buffers,
+                |record| {
+                    if monitor_scan.step(record.measurement) {
+                        // The trial is discarded regardless of what the
+                        // remaining instants hold; stop simulating it.
+                        monitor_alarm = true;
+                        return false;
+                    }
+                    if pending > 0 {
+                        for (i, scanner) in scanners.iter_mut().enumerate() {
+                            if !alarmed[i] && scanner.step(record.k, record.residue) {
+                                alarmed[i] = true;
+                                pending -= 1;
                             }
                         }
                     }
+                    true
+                },
+            );
+            let keep = !monitor_alarm && self.benchmark.performance.satisfied_by(buffers.state());
+            if keep {
+                outcome.kept += 1;
+                for (count, &fired) in outcome.alarms.iter_mut().zip(&alarmed) {
+                    *count += usize::from(fired);
                 }
             }
         }
+        outcome
+    }
+
+    /// Runs the experiment against a set of named detectors.
+    ///
+    /// Trials stream through batched parallel lanes: lane `w` of `L` scans
+    /// the contiguous trial chunk `[w·c, (w+1)·c)` with `c = ⌈N/L⌉` — the
+    /// same deterministic assignment rule as [`FarExperiment::noise_traces`]
+    /// — and each lane reuses one set of step buffers and scanners across
+    /// its trials (`scan_range` above), so no rollout is ever
+    /// materialised as a [`Trace`]. Lanes report integer kept/alarm counts
+    /// that are summed in lane order, so reports are **bit-identical** for
+    /// every lane count and to the retired collect-then-scan implementation.
+    ///
+    /// Detector evaluation is fused per trial: every detector's streaming
+    /// scanner ([`Detector::scanner`], allocated once per lane) is fed the
+    /// trial's residues instant by instant, and detector stepping stops the
+    /// moment every detector in the suite has alarmed. Verdicts — and
+    /// therefore the reported rates — are identical to evaluating each
+    /// detector independently with [`cps_detectors::false_alarm_rate`] over
+    /// [`FarExperiment::noise_traces`].
+    pub fn run(&self, detectors: &[(&str, &dyn Detector)]) -> FarReport {
+        let lanes = self.parallelism().min(self.num_trials.max(1));
+        let outcome = if lanes <= 1 {
+            self.scan_range(0..self.num_trials, detectors)
+        } else {
+            let chunk = self.num_trials.div_ceil(lanes);
+            let mut slots: Vec<Option<LaneOutcome>> = Vec::new();
+            slots.resize_with(lanes, || None);
+            thread::scope(|scope| {
+                for (lane, slot) in slots.iter_mut().enumerate() {
+                    let lo = (lane * chunk).min(self.num_trials);
+                    let hi = ((lane + 1) * chunk).min(self.num_trials);
+                    scope.spawn(move || *slot = Some(self.scan_range(lo..hi, detectors)));
+                }
+            });
+            let mut total = LaneOutcome {
+                kept: 0,
+                alarms: vec![0usize; detectors.len()],
+            };
+            // Integer counts: summation order cannot matter, but lanes are
+            // still folded in lane order for uniformity with noise_traces.
+            for lane in slots.into_iter().flatten() {
+                total.kept += lane.kept;
+                for (count, add) in total.alarms.iter_mut().zip(&lane.alarms) {
+                    *count += add;
+                }
+            }
+            total
+        };
         let rates = detectors
             .iter()
-            .zip(&alarms)
+            .zip(&outcome.alarms)
             .map(|((name, _), &count)| {
-                let rate = if kept.is_empty() {
+                let rate = if outcome.kept == 0 {
                     0.0
                 } else {
-                    count as f64 / kept.len() as f64
+                    count as f64 / outcome.kept as f64
                 };
                 ((*name).to_string(), rate)
             })
             .collect();
         FarReport {
             generated: self.num_trials,
-            kept: kept.len(),
-            discarded: self.num_trials - kept.len(),
+            kept: outcome.kept,
+            discarded: self.num_trials - outcome.kept,
             rates,
         }
     }
+}
+
+/// Integer tallies produced by one evaluation lane: trials kept after the
+/// pfc / monitor filter and per-detector alarm counts over those kept trials.
+#[derive(Debug)]
+struct LaneOutcome {
+    kept: usize,
+    alarms: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -297,6 +384,19 @@ mod tests {
             report.rate_of("cusum"),
             Some(false_alarm_rate(&cusum, &kept))
         );
+    }
+
+    #[test]
+    fn streaming_run_counts_match_trace_materialisation() {
+        let benchmark = cps_models::trajectory_tracking().unwrap();
+        for seed in [0u64, 7, 1234] {
+            let experiment = FarExperiment::new(&benchmark, 50, seed);
+            // The streaming engine never builds a Trace, yet its kept count
+            // must equal the number of traces the materialising path keeps.
+            let report = experiment.run(&[]);
+            assert_eq!(report.kept, experiment.noise_traces().len());
+            assert_eq!(report.discarded, 50 - report.kept);
+        }
     }
 
     #[test]

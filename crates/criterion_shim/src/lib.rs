@@ -4,8 +4,9 @@
 //! The workspace builds in a container without network access, so the real
 //! `criterion` crate cannot be resolved. This crate implements the (small)
 //! subset of its API that the `cps_bench` benches use — [`Criterion`],
-//! [`BenchmarkGroup`], [`Bencher`], [`black_box`], [`criterion_group!`] and
-//! [`criterion_main!`] — with wall-clock timing and a plain-text report, so
+//! [`BenchmarkGroup`], [`Bencher`], [`Throughput`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — with wall-clock timing and
+//! a plain-text report, so
 //! that `cargo bench` produces useful numbers and the bench sources compile
 //! unchanged against the real crate when it is vendored back in.
 //!
@@ -38,6 +39,30 @@ use std::time::{Duration, Instant};
 /// expression away. Forwards to [`std::hint::black_box`].
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// Units of work processed by one iteration of a benchmark routine, mirroring
+/// `criterion::Throughput`.
+///
+/// Setting a throughput on a group ([`BenchmarkGroup::throughput`]) makes each
+/// report line carry a machine-readable ` [per_s=…]` suffix (units divided by
+/// the median sample time) in addition to `[median_ns=…]`;
+/// `scripts/bench_snapshot.sh` snapshots throughput benches by that per-second
+/// figure and gates them in the higher-is-better direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements (traces, steps, rows, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn units(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
 }
 
 /// Entry point handed to each registered bench function.
@@ -83,6 +108,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
         }
     }
 }
@@ -93,12 +119,20 @@ pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples for benchmarks in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares how many units of work each iteration of the group's
+    /// benchmarks processes; report lines then include a ` [per_s=…]` suffix.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -137,18 +171,30 @@ impl BenchmarkGroup<'_> {
         times.sort_unstable();
         let median = times[times.len() / 2];
         let (lo, hi) = (times[0], times[times.len() - 1]);
-        // The `[median_ns=…]` suffix is machine-readable: it is what
-        // `scripts/bench_snapshot.sh` greps into `BENCH_*.json` to track the
-        // perf trajectory across PRs. Keep its format stable.
+        // The `[median_ns=…]` / `[per_s=…]` suffixes are machine-readable:
+        // they are what `scripts/bench_snapshot.sh` greps into `BENCH_*.json`
+        // to track the perf trajectory across PRs. Keep their formats stable —
+        // the snapshot script keys on which marker ends the line.
+        let per_s_suffix = match self.throughput {
+            Some(throughput) => {
+                // Clamp the median to ≥ 1 ns so a degenerate zero-time sample
+                // cannot divide by zero.
+                let nanos = median.as_nanos().max(1) as f64;
+                let per_s = throughput.units() as f64 * 1e9 / nanos;
+                format!(" [per_s={}]", per_s.round() as u64)
+            }
+            None => String::new(),
+        };
         println!(
-            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples) [median_ns={}]",
+            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples) [median_ns={}]{}",
             self.name,
             id,
             median,
             lo,
             hi,
             times.len(),
-            median.as_nanos()
+            median.as_nanos(),
+            per_s_suffix
         );
         self
     }

@@ -47,13 +47,18 @@ impl Chi2Detector {
 
 impl Detector for Chi2Detector {
     fn first_alarm(&self, trace: &Trace) -> Option<usize> {
-        let norms = trace.residue_norms(self.norm);
+        // Same ring-buffer arithmetic as Chi2Scan (and as the retired
+        // Vec-of-norms loop: the subtracted square is the same f64 either
+        // way), without materialising the norm vector.
+        let mut recent = vec![0.0; self.window];
         let mut window_sum = 0.0;
-        for k in 0..norms.len() {
-            window_sum += norms[k] * norms[k];
+        for (k, z) in trace.residue_norms_iter(self.norm).enumerate() {
+            let sq = z * z;
+            window_sum += sq;
             if k >= self.window {
-                window_sum -= norms[k - self.window] * norms[k - self.window];
+                window_sum -= recent[k % self.window];
             }
+            recent[k % self.window] = sq;
             if k + 1 >= self.window && window_sum > self.threshold {
                 return Some(k);
             }
@@ -155,9 +160,13 @@ impl CusumDetector {
 
 impl Detector for CusumDetector {
     fn first_alarm(&self, trace: &Trace) -> Option<usize> {
-        self.statistic(trace)
-            .into_iter()
-            .position(|s| s > self.threshold)
+        // Streaming fold of the CUSUM recursion — the same arithmetic as
+        // `statistic`, without materialising the trajectory.
+        let mut s = 0.0;
+        trace.residue_norms_iter(self.norm).position(|z| {
+            s = f64::max(0.0, s + z - self.drift);
+            s > self.threshold
+        })
     }
 
     fn scanner(&self) -> Box<dyn AlarmScan + '_> {

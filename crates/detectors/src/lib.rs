@@ -37,14 +37,19 @@ mod evaluation;
 mod threshold;
 
 pub use baselines::{Chi2Detector, CusumDetector};
-pub use evaluation::{detection_rate, false_alarm_rate};
+pub use evaluation::{detection_rate, false_alarm_rate, false_alarm_rate_batched};
 pub use threshold::{ThresholdDetector, ThresholdError, ThresholdSpec};
 
 use cps_control::Trace;
 use cps_linalg::Vector;
 
 /// Common interface of residue-based detectors.
-pub trait Detector {
+///
+/// `Sync` is a supertrait so that `&dyn Detector` references can be shared
+/// across the batched parallel evaluation lanes ([`false_alarm_rate_batched`]
+/// and the `FarExperiment` streaming engine); detectors are plain parameter
+/// structs, so the bound costs implementations nothing.
+pub trait Detector: Sync {
     /// Returns the first sampling instant at which the detector raises an
     /// alarm on the given trace, or `None` when the trace passes undetected.
     fn first_alarm(&self, trace: &Trace) -> Option<usize>;

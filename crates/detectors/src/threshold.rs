@@ -184,10 +184,9 @@ impl ThresholdDetector {
 impl Detector for ThresholdDetector {
     fn first_alarm(&self, trace: &Trace) -> Option<usize> {
         trace
-            .residue_norms(self.norm)
-            .iter()
+            .residue_norms_iter(self.norm)
             .enumerate()
-            .find(|(k, z)| **z >= self.threshold.value_at(*k))
+            .find(|(k, z)| *z >= self.threshold.value_at(*k))
             .map(|(k, _)| k)
     }
 

@@ -50,7 +50,7 @@ pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use riccati::{solve_dare, solve_discrete_lyapunov, RiccatiOptions};
 pub use rng::SplitMix64;
-pub use vector::Vector;
+pub use vector::{Vector, INLINE_CAP};
 
 /// Default absolute tolerance used by iterative solvers and approximate
 /// comparisons throughout the workspace.

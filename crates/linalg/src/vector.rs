@@ -1,11 +1,34 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+/// Entries stored inline (on the stack) before a [`Vector`] spills to the
+/// heap. Every benchmark plant in the workspace has 2–5 states, so the
+/// closed-loop hot path never leaves the inline representation.
+pub const INLINE_CAP: usize = 8;
+
+/// Backing storage of a [`Vector`]: a fixed `[f64; INLINE_CAP]` buffer for
+/// short vectors, a `Vec<f64>` beyond that. The variant is an internal detail
+/// — all observable behaviour (equality, arithmetic, iteration, Display) goes
+/// through `as_slice`, so an inline vector and a heap vector with the same
+/// entries are indistinguishable except via [`Vector::is_inline`].
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum Storage {
+    Inline { len: u8, data: [f64; INLINE_CAP] },
+    Heap(Vec<f64>),
+}
+
 /// A dense column vector of `f64` values.
 ///
 /// `Vector` is the value type exchanged between the plant, estimator and
 /// controller models in the workspace: states, measurements, control inputs,
 /// residues and attack injections are all `Vector`s.
+///
+/// Vectors of up to [`INLINE_CAP`] entries are stored inline without heap
+/// allocation; longer vectors transparently spill to a `Vec<f64>`. The
+/// `*_into`/assign kernels ([`Vector::copy_from`], [`Vector::assign_diff`],
+/// [`crate::Matrix::mul_vec_into`], …) reuse existing storage, so steady-state
+/// closed-loop simulation performs zero heap allocations.
 ///
 /// # Example
 ///
@@ -14,71 +37,204 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 ///
 /// let v = Vector::from_slice(&[3.0, 4.0]);
 /// assert_eq!(v.len(), 2);
+/// assert!(v.is_inline());
 /// assert!((v.norm_l2() - 5.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector {
-    data: Vec<f64>,
+    storage: Storage,
 }
 
 impl Vector {
     /// Creates a vector of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Self {
-            data: vec![0.0; len],
+        if len <= INLINE_CAP {
+            Self {
+                storage: Storage::Inline {
+                    len: len as u8,
+                    data: [0.0; INLINE_CAP],
+                },
+            }
+        } else {
+            Self {
+                storage: Storage::Heap(vec![0.0; len]),
+            }
         }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f64) -> Self {
-        Self {
-            data: vec![value; len],
-        }
+        let mut v = Self::zeros(len);
+        v.as_mut_slice().fill(value);
+        v
     }
 
     /// Creates a vector by copying the given slice.
     pub fn from_slice(values: &[f64]) -> Self {
-        Self {
-            data: values.to_vec(),
-        }
+        let mut v = Self::zeros(values.len());
+        v.as_mut_slice().copy_from_slice(values);
+        v
     }
 
     /// Creates a vector from a closure evaluated at each index.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
-        Self {
-            data: (0..len).map(&mut f).collect(),
+        let mut v = Self::zeros(len);
+        for (i, slot) in v.as_mut_slice().iter_mut().enumerate() {
+            *slot = f(i);
         }
+        v
+    }
+
+    /// Creates a heap-backed vector even when `values` would fit inline.
+    ///
+    /// This is the differential-test hook for the small-vector optimisation:
+    /// every operation must produce bit-identical results on a heap-backed
+    /// vector and its inline twin.
+    pub fn heap_backed(values: Vec<f64>) -> Self {
+        Self {
+            storage: Storage::Heap(values),
+        }
+    }
+
+    /// Returns `true` when the entries live in the inline `[f64; INLINE_CAP]`
+    /// buffer rather than on the heap.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.storage, Storage::Inline { .. })
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.storage {
+            Storage::Inline { len, .. } => *len as usize,
+            Storage::Heap(v) => v.len(),
+        }
     }
 
     /// Returns `true` when the vector has no entries.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Borrows the underlying storage as a slice.
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        match &self.storage {
+            Storage::Inline { len, data } => &data[..*len as usize],
+            Storage::Heap(v) => v,
+        }
     }
 
     /// Mutably borrows the underlying storage.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        match &mut self.storage {
+            Storage::Inline { len, data } => &mut data[..*len as usize],
+            Storage::Heap(v) => v,
+        }
     }
 
-    /// Consumes the vector and returns its underlying storage.
+    /// Consumes the vector and returns its entries as a `Vec<f64>` (copies
+    /// when the vector is inline).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        match self.storage {
+            Storage::Inline { len, data } => data[..len as usize].to_vec(),
+            Storage::Heap(v) => v,
+        }
+    }
+
+    /// Resizes to `len` in place. Entries up to `min(old, new)` keep their
+    /// values; newly created entries are zero. Stays inline for
+    /// `len ≤ INLINE_CAP` unless already heap-backed at a larger capacity.
+    pub fn resize_zeroed(&mut self, new_len: usize) {
+        let old_len = self.len();
+        if old_len == new_len {
+            return;
+        }
+        match (&mut self.storage, new_len <= INLINE_CAP) {
+            (Storage::Heap(v), false) => v.resize(new_len, 0.0),
+            (Storage::Inline { len, data }, true) => {
+                if new_len > *len as usize {
+                    data[*len as usize..new_len].fill(0.0);
+                }
+                *len = new_len as u8;
+            }
+            _ => {
+                let mut next = Vector::zeros(new_len);
+                let keep = old_len.min(new_len);
+                next.as_mut_slice()[..keep].copy_from_slice(&self.as_slice()[..keep]);
+                *self = next;
+            }
+        }
+    }
+
+    /// Overwrites `self` with the entries of `src`, resizing if necessary.
+    /// Allocation-free when the lengths already match (or `src` fits inline).
+    pub fn copy_from(&mut self, src: &Vector) {
+        self.resize_zeroed(src.len());
+        self.as_mut_slice().copy_from_slice(src.as_slice());
+    }
+
+    /// Overwrites `self` with `a + b` element-wise without allocating
+    /// (bit-identical to `a + b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths.
+    pub fn assign_sum(&mut self, a: &Vector, b: &Vector) {
+        assert_eq!(a.len(), b.len(), "vector addition requires equal lengths");
+        self.resize_zeroed(a.len());
+        for ((out, x), y) in self
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a.as_slice())
+            .zip(b.as_slice())
+        {
+            *out = x + y;
+        }
+    }
+
+    /// Overwrites `self` with `a - b` element-wise without allocating
+    /// (bit-identical to `a - b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths.
+    pub fn assign_diff(&mut self, a: &Vector, b: &Vector) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "vector subtraction requires equal lengths"
+        );
+        self.resize_zeroed(a.len());
+        for ((out, x), y) in self
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a.as_slice())
+            .zip(b.as_slice())
+        {
+            *out = x - y;
+        }
+    }
+
+    /// Replaces `self` with `lhs - self` element-wise — a non-allocating
+    /// reversed subtraction (bit-identical to `lhs - self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn rsub_from(&mut self, lhs: &Vector) {
+        assert_eq!(
+            self.len(),
+            lhs.len(),
+            "vector subtraction requires equal lengths"
+        );
+        for (s, l) in self.as_mut_slice().iter_mut().zip(lhs.as_slice()) {
+            *s = l - *s;
+        }
     }
 
     /// Returns an iterator over the entries.
     pub fn iter(&self) -> std::slice::Iter<'_, f64> {
-        self.data.iter()
+        self.as_slice().iter()
     }
 
     /// Dot (inner) product with another vector.
@@ -92,33 +248,27 @@ impl Vector {
             other.len(),
             "dot product requires equal lengths"
         );
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.iter().zip(other.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Sum of absolute values (L1 norm).
     pub fn norm_l1(&self) -> f64 {
-        self.data.iter().map(|x| x.abs()).sum()
+        self.iter().map(|x| x.abs()).sum()
     }
 
     /// Euclidean (L2) norm.
     pub fn norm_l2(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
 
     /// Maximum absolute entry (L∞ norm). Returns `0.0` for an empty vector.
     pub fn norm_inf(&self) -> f64 {
-        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+        self.iter().fold(0.0, |acc, x| acc.max(x.abs()))
     }
 
     /// Element-wise map producing a new vector.
-    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Vector {
-        Vector {
-            data: self.data.iter().copied().map(f).collect(),
-        }
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Vector {
+        Vector::from_fn(self.len(), |i| f(self.as_slice()[i]))
     }
 
     /// Scales every entry by `factor`.
@@ -132,21 +282,39 @@ impl Vector {
     ///
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> Vector {
-        Vector {
-            data: indices.iter().map(|&i| self.data[i]).collect(),
-        }
+        Vector::from_fn(indices.len(), |i| self.as_slice()[indices[i]])
     }
 
     /// Returns `true` when every entry is finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Vector").field(&self.as_slice()).finish()
+    }
+}
+
+impl Default for Vector {
+    fn default() -> Self {
+        Self::zeros(0)
+    }
+}
+
+impl PartialEq for Vector {
+    fn eq(&self, other: &Self) -> bool {
+        // Storage variant is invisible: inline and heap vectors with the same
+        // entries compare equal.
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl fmt::Display for Vector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, x) in self.data.iter().enumerate() {
+        for (i, x) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -160,26 +328,64 @@ impl Index<usize> for Vector {
     type Output = f64;
 
     fn index(&self, index: usize) -> &f64 {
-        &self.data[index]
+        &self.as_slice()[index]
     }
 }
 
 impl IndexMut<usize> for Vector {
     fn index_mut(&mut self, index: usize) -> &mut f64 {
-        &mut self.data[index]
+        &mut self.as_mut_slice()[index]
     }
 }
 
 impl From<Vec<f64>> for Vector {
     fn from(data: Vec<f64>) -> Self {
-        Self { data }
+        if data.len() <= INLINE_CAP {
+            Self::from_slice(&data)
+        } else {
+            Self {
+                storage: Storage::Heap(data),
+            }
+        }
     }
 }
 
 impl FromIterator<f64> for Vector {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Self {
-            data: iter.into_iter().collect(),
+        let mut data = [0.0; INLINE_CAP];
+        let mut len = 0usize;
+        let mut it = iter.into_iter();
+        while len < INLINE_CAP {
+            match it.next() {
+                Some(x) => {
+                    data[len] = x;
+                    len += 1;
+                }
+                None => {
+                    return Self {
+                        storage: Storage::Inline {
+                            len: len as u8,
+                            data,
+                        },
+                    }
+                }
+            }
+        }
+        match it.next() {
+            None => Self {
+                storage: Storage::Inline {
+                    len: len as u8,
+                    data,
+                },
+            },
+            Some(x) => {
+                let mut v = data.to_vec();
+                v.push(x);
+                v.extend(it);
+                Self {
+                    storage: Storage::Heap(v),
+                }
+            }
         }
     }
 }
@@ -189,7 +395,7 @@ impl IntoIterator for Vector {
     type IntoIter = std::vec::IntoIter<f64>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.into_iter()
+        self.into_vec().into_iter()
     }
 }
 
@@ -198,20 +404,13 @@ impl<'a> IntoIterator for &'a Vector {
     type IntoIter = std::slice::Iter<'a, f64>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.iter()
     }
 }
 
 fn binary_op(lhs: &Vector, rhs: &Vector, op: impl Fn(f64, f64) -> f64, name: &str) -> Vector {
     assert_eq!(lhs.len(), rhs.len(), "{name} requires equal lengths");
-    Vector {
-        data: lhs
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| op(*a, *b))
-            .collect(),
-    }
+    Vector::from_fn(lhs.len(), |i| op(lhs.as_slice()[i], rhs.as_slice()[i]))
 }
 
 impl Add for &Vector {
@@ -269,7 +468,7 @@ impl AddAssign<&Vector> for Vector {
             rhs.len(),
             "vector addition requires equal lengths"
         );
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
             *a += b;
         }
     }
@@ -282,7 +481,7 @@ impl SubAssign<&Vector> for Vector {
             rhs.len(),
             "vector subtraction requires equal lengths"
         );
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
             *a -= b;
         }
     }
@@ -411,5 +610,95 @@ mod tests {
     fn collect_from_iterator() {
         let v: Vector = (0..3).map(|i| i as f64).collect();
         assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn small_vectors_stay_inline_and_large_ones_spill() {
+        assert!(Vector::zeros(0).is_inline());
+        assert!(Vector::zeros(INLINE_CAP).is_inline());
+        assert!(!Vector::zeros(INLINE_CAP + 1).is_inline());
+        assert!(Vector::from_fn(INLINE_CAP, |i| i as f64).is_inline());
+        assert!(!Vector::from_fn(INLINE_CAP + 1, |i| i as f64).is_inline());
+        let collected: Vector = (0..INLINE_CAP).map(|i| i as f64).collect();
+        assert!(collected.is_inline());
+        let spilled: Vector = (0..INLINE_CAP + 1).map(|i| i as f64).collect();
+        assert!(!spilled.is_inline());
+        assert_eq!(spilled.len(), INLINE_CAP + 1);
+        assert_eq!(spilled[INLINE_CAP], INLINE_CAP as f64);
+    }
+
+    #[test]
+    fn inline_and_heap_vectors_compare_equal() {
+        let inline = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let heap = Vector::heap_backed(vec![1.0, 2.0, 3.0]);
+        assert!(inline.is_inline());
+        assert!(!heap.is_inline());
+        assert_eq!(inline, heap);
+        assert_eq!(format!("{inline}"), format!("{heap}"));
+        assert_eq!(format!("{inline:?}"), format!("{heap:?}"));
+    }
+
+    #[test]
+    fn resize_zeroed_preserves_prefix_across_representations() {
+        // inline → inline (grow and shrink)
+        let mut v = Vector::from_slice(&[1.0, 2.0]);
+        v.resize_zeroed(4);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 0.0, 0.0]);
+        v.resize_zeroed(1);
+        assert_eq!(v.as_slice(), &[1.0]);
+        // regrow must re-zero previously used slots
+        v.resize_zeroed(3);
+        assert_eq!(v.as_slice(), &[1.0, 0.0, 0.0]);
+
+        // inline → heap
+        let mut v = Vector::from_slice(&[1.0, 2.0]);
+        v.resize_zeroed(INLINE_CAP + 2);
+        assert!(!v.is_inline());
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[INLINE_CAP + 1], 0.0);
+
+        // heap → inline
+        v.resize_zeroed(2);
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[1.0, 2.0]);
+
+        // heap stays heap when shrinking above the inline cap
+        let mut w = Vector::zeros(INLINE_CAP + 4);
+        w.resize_zeroed(INLINE_CAP + 1);
+        assert!(!w.is_inline());
+        assert_eq!(w.len(), INLINE_CAP + 1);
+    }
+
+    #[test]
+    fn copy_from_and_assign_kernels_match_operators() {
+        let a = Vector::from_slice(&[1.0, -2.0, 3.5]);
+        let b = Vector::from_slice(&[0.25, 4.0, -1.5]);
+
+        let mut out = Vector::zeros(0);
+        out.copy_from(&a);
+        assert_eq!(out, a);
+
+        out.assign_sum(&a, &b);
+        assert_eq!(out, &a + &b);
+
+        out.assign_diff(&a, &b);
+        assert_eq!(out, &a - &b);
+
+        out.copy_from(&b);
+        out.rsub_from(&a);
+        assert_eq!(out, &a - &b);
+    }
+
+    #[test]
+    fn into_vec_round_trips_both_representations() {
+        let inline = Vector::from_slice(&[1.0, 2.0]);
+        assert_eq!(inline.clone().into_vec(), vec![1.0, 2.0]);
+        let heap = Vector::heap_backed(vec![1.0, 2.0]);
+        assert_eq!(heap.into_vec(), vec![1.0, 2.0]);
+        let big: Vec<f64> = (0..INLINE_CAP + 3).map(|i| i as f64).collect();
+        let v: Vector = big.clone().into();
+        assert!(!v.is_inline());
+        assert_eq!(v.into_vec(), big);
     }
 }

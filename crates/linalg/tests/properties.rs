@@ -191,3 +191,46 @@ fn matrix_pow_matches_repeated_multiplication() {
         assert!((fast - slow).norm_fro() < 1e-6);
     }
 }
+
+/// Every operation must be bit-identical between an inline vector and its
+/// heap-backed twin — the core guarantee behind the small-vector fast path.
+#[test]
+fn inline_and_heap_backends_are_bit_identical() {
+    let mut g = Gen::new(0x8E8);
+    for n in 1..=6 {
+        for _ in 0..CASES {
+            let a = g.vector(n);
+            let b = g.vector(n);
+            let m = g.square_matrix(n);
+            let ah = Vector::heap_backed(a.as_slice().to_vec());
+            let bh = Vector::heap_backed(b.as_slice().to_vec());
+            assert!(a.is_inline() && !ah.is_inline());
+
+            assert_eq!(&a + &b, &ah + &bh);
+            assert_eq!(&a - &b, &ah - &bh);
+            assert_eq!(a.dot(&b).to_bits(), ah.dot(&bh).to_bits());
+            assert_eq!(a.norm_l1().to_bits(), ah.norm_l1().to_bits());
+            assert_eq!(a.norm_l2().to_bits(), ah.norm_l2().to_bits());
+            assert_eq!(a.norm_inf().to_bits(), ah.norm_inf().to_bits());
+            assert_eq!(a.scale(1.7), ah.scale(1.7));
+            assert_eq!(m.mul_vec(&a), m.mul_vec(&ah));
+
+            let mut out_i = Vector::zeros(n);
+            let mut out_h = Vector::heap_backed(vec![0.0; n]);
+            m.mul_vec_into(&a, &mut out_i);
+            m.mul_vec_into(&ah, &mut out_h);
+            assert_eq!(out_i, m.mul_vec(&a));
+            assert_eq!(out_i, out_h);
+            m.mul_vec_add_into(&b, &mut out_i);
+            m.mul_vec_add_into(&bh, &mut out_h);
+            assert_eq!(out_i, &m.mul_vec(&a) + &m.mul_vec(&b));
+            assert_eq!(out_i, out_h);
+
+            let mut s = Vector::zeros(0);
+            s.assign_sum(&a, &b);
+            let mut sh = Vector::heap_backed(Vec::new());
+            sh.assign_sum(&ah, &bh);
+            assert_eq!(s, sh);
+        }
+    }
+}

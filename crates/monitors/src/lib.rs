@@ -45,5 +45,5 @@ mod suite;
 mod symbolic;
 
 pub use monitor::{GradientMonitor, Monitor, RangeMonitor, RelationMonitor};
-pub use suite::{MonitorSuite, MonitorVerdict};
+pub use suite::{MonitorScan, MonitorSuite, MonitorVerdict};
 pub use symbolic::MeasurementSymbols;

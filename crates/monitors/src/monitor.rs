@@ -137,17 +137,28 @@ impl Monitor {
     /// Panics if `k` is out of range or a signal index exceeds the measurement
     /// dimension.
     pub fn ok_at(&self, k: usize, measurements: &[Vector], ts: f64) -> bool {
-        let y = &measurements[k];
+        let prev = if k == 0 {
+            None
+        } else {
+            Some(&measurements[k - 1])
+        };
+        self.ok_step(&measurements[k], prev, ts)
+    }
+
+    /// Streaming counterpart of [`Monitor::ok_at`]: evaluates the monitor on
+    /// the current measurement and its predecessor (`None` at the first
+    /// instant), which is all any monitor kind looks at. Same arithmetic as
+    /// `ok_at`, so verdicts are identical.
+    pub fn ok_step(&self, y: &Vector, prev: Option<&Vector>, ts: f64) -> bool {
         match self {
             Monitor::Range(m) => y[m.signal] >= m.lower && y[m.signal] <= m.upper,
-            Monitor::Gradient(m) => {
-                if k == 0 {
-                    true
-                } else {
-                    let rate = (y[m.signal] - measurements[k - 1][m.signal]) / ts;
+            Monitor::Gradient(m) => match prev {
+                None => true,
+                Some(prev) => {
+                    let rate = (y[m.signal] - prev[m.signal]) / ts;
                     rate.abs() <= m.max_rate
                 }
-            }
+            },
             Monitor::Relation(m) => {
                 (y[m.signal_a] - m.coeff_b * y[m.signal_b]).abs() <= m.allowed_diff
             }

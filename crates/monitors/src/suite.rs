@@ -107,6 +107,18 @@ impl MonitorSuite {
         None
     }
 
+    /// Creates a reusable streaming evaluator with the same verdicts as
+    /// [`MonitorSuite::first_alarm`], for callers that produce measurements
+    /// one instant at a time (the allocation-free FAR rollout engine).
+    pub fn scanner(&self) -> MonitorScan<'_> {
+        MonitorScan {
+            suite: self,
+            prev: Vector::zeros(0),
+            has_prev: false,
+            run: 0,
+        }
+    }
+
     /// Evaluates the suite over a measurement sequence.
     pub fn evaluate(&self, measurements: &[Vector]) -> MonitorVerdict {
         let violations: Vec<bool> = (0..measurements.len())
@@ -277,6 +289,60 @@ impl MonitorSuite {
     }
 }
 
+/// Streaming evaluator created by [`MonitorSuite::scanner`]: feed
+/// measurements one instant at a time (in order from instant zero) and learn
+/// the moment the debounced `mdc` alarm fires.
+///
+/// The scan buffers one previous measurement (for gradient monitors) and the
+/// current violation-run length; [`MonitorScan::reset`] rewinds it for a fresh
+/// trace without dropping the buffer, so steady-state stepping is
+/// allocation-free. Verdicts are identical to [`MonitorSuite::first_alarm`]
+/// (same [`Monitor::ok_step`] arithmetic, same run counting), asserted by the
+/// `streaming_runtime` differential suite.
+#[derive(Debug, Clone)]
+pub struct MonitorScan<'a> {
+    suite: &'a MonitorSuite,
+    prev: Vector,
+    has_prev: bool,
+    run: usize,
+}
+
+impl MonitorScan<'_> {
+    /// Rewinds the scan for a fresh measurement sequence.
+    pub fn reset(&mut self) {
+        self.has_prev = false;
+        self.run = 0;
+    }
+
+    /// Feeds the measurement of the next sampling instant; returns `true`
+    /// when the alarm fires there (the end of a run of `dead_zone`
+    /// consecutive violating instants). Callers may stop at the first alarm —
+    /// continuing is allowed but verdicts after the first alarm are not
+    /// meaningful (`first_alarm` stops there too).
+    pub fn step(&mut self, y: &Vector) -> bool {
+        let prev = if self.has_prev {
+            Some(&self.prev)
+        } else {
+            None
+        };
+        let ok = self
+            .suite
+            .monitors
+            .iter()
+            .all(|m| m.ok_step(y, prev, self.suite.sampling_period));
+        let alarmed = if ok {
+            self.run = 0;
+            false
+        } else {
+            self.run += 1;
+            self.run >= self.suite.dead_zone
+        };
+        self.prev.copy_from(y);
+        self.has_prev = true;
+        alarmed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +438,34 @@ mod tests {
         let suite = range_suite(5);
         let (symbols, _) = symbols_for(&[&[0.0], &[0.0]]);
         assert_eq!(suite.encode_stealth(&symbols), Formula::True);
+    }
+
+    #[test]
+    fn scanner_matches_first_alarm() {
+        let suite = MonitorSuite::new(
+            vec![Monitor::range(0, -1.0, 1.0), Monitor::gradient(0, 20.0)],
+            2,
+            0.1,
+        );
+        let sequences: Vec<Vec<Vector>> = vec![
+            meas(&[&[0.2], &[0.4], &[1.5], &[0.3], &[0.2]]),
+            meas(&[&[0.2], &[1.5], &[1.6], &[0.3], &[0.2]]),
+            meas(&[&[0.0], &[5.0], &[9.0], &[9.0]]),
+            meas(&[&[0.0]]),
+            meas(&[]),
+        ];
+        let mut scan = suite.scanner();
+        for measurements in &sequences {
+            scan.reset();
+            let mut streamed = None;
+            for (k, y) in measurements.iter().enumerate() {
+                if scan.step(y) {
+                    streamed = Some(k);
+                    break;
+                }
+            }
+            assert_eq!(streamed, suite.first_alarm(measurements));
+        }
     }
 
     #[test]

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
 # Captures a benchmark snapshot and gates on regressions.
 #
-# Runs `cargo bench`, writes a JSON map of `bench name -> median wall-clock
-# nanoseconds` parsed from the criterion shim's `[median_ns=…]` markers (see
-# crates/criterion_shim), then diffs the fresh snapshot against a baseline:
-# the highest-numbered committed BENCH_<n>.json by default, or an explicit
-# second argument. The script exits non-zero when any bench present in BOTH
-# snapshots regressed by more than CPS_BENCH_TOLERANCE percent (default 25)
-# AND by more than CPS_BENCH_NOISE_FLOOR_NS absolute (default 20000 ns —
-# microsecond-scale benches jitter by several microseconds run to run on a
-# shared container, which is scheduling noise, not a regression). Benches
-# that exist only on one side (new or retired) are reported but never fail
-# the gate.
+# Runs `cargo bench`, writes a JSON map of `bench name -> value` parsed from
+# the criterion shim's machine-readable markers (see crates/criterion_shim):
+# plain benches contribute their `[median_ns=…]` median wall-clock nanoseconds
+# (lower is better); throughput benches — report lines ending in `[per_s=…]`,
+# by convention named `*_per_s` — contribute their per-second rate (higher is
+# better). The fresh snapshot is then diffed against a baseline: the
+# highest-numbered committed BENCH_<n>.json by default, or an explicit second
+# argument. The script exits non-zero when any bench present in BOTH
+# snapshots regressed by more than CPS_BENCH_TOLERANCE percent (default 25):
+# for latency rows that means the median grew, and additionally by more than
+# CPS_BENCH_NOISE_FLOOR_NS absolute (default 20000 ns — microsecond-scale
+# benches jitter by several microseconds run to run on a shared container,
+# which is scheduling noise, not a regression); for `*_per_s` throughput rows
+# it means the rate dropped (the noise floor is a nanosecond quantity and does
+# not apply to rates — their TRIALS-sized workloads are far above it anyway).
+# Benches that exist only on one side (new or retired) are reported but never
+# fail the gate.
 #
 # Usage: scripts/bench_snapshot.sh <output.json> [baseline.json]
 #        scripts/bench_snapshot.sh --select-baseline <exclude.json>
+#        scripts/bench_snapshot.sh --compare <baseline.json> <fresh.json>
+#
+# `--compare` runs only the regression gate between two existing snapshot
+# files (no cargo, no snapshot written); the shell test drives the gate's
+# direction handling through it.
 #
 # The output path is required (give an absolute path for scratch snapshots so
 # it lands outside the repo even though the script cd's to the repo root).
@@ -55,6 +66,62 @@ if [[ "${1:-}" == "--select-baseline" ]]; then
     exit 0
 fi
 
+# Diffs two snapshots and exits non-zero on a gated regression. Latency rows
+# (median nanoseconds) regress upward and honour the absolute noise floor;
+# `*_per_s` throughput rows regress downward and have no noise floor.
+compare_snapshots() {
+    local baseline="$1" fresh="$2"
+    local tolerance="${CPS_BENCH_TOLERANCE:-25}"
+    local noise_floor="${CPS_BENCH_NOISE_FLOOR_NS:-20000}"
+    echo "comparing against $baseline (tolerance: ${tolerance}% regression," \
+         "noise floor: ${noise_floor} ns, throughput rows gate on drops)"
+    awk -v tol="$tolerance" -v floor="$noise_floor" '
+        # Both files use the simple one-entry-per-line format written by the
+        # snapshot step.
+        function parse(line) {
+            if (match(line, /^  "[^"]+": [0-9]+,?$/) == 0) return 0
+            name = line; sub(/^  "/, "", name); sub(/": .*/, "", name)
+            value = line; sub(/.*": /, "", value); sub(/,$/, "", value)
+            return 1
+        }
+        FNR == NR { if (parse($0)) base[name] = value + 0; next }
+        {
+            if (!parse($0)) next
+            if (!(name in base)) { printf "  new bench (no baseline): %s\n", name; next }
+            old = base[name]; new = value + 0; seen[name] = 1
+            change = old > 0 ? (new - old) * 100.0 / old : 0
+            status = "ok"
+            if (name ~ /_per_s$/) {
+                # Throughput: a rate *drop* beyond tolerance fails the gate.
+                if (-change > tol) { status = "REGRESSION"; failed = 1 }
+                printf "  %-55s %12d -> %12d /s  (%+.1f%%) %s\n", name, old, new, change, status
+            } else {
+                if (change > tol && new - old > floor) { status = "REGRESSION"; failed = 1 }
+                else if (change > tol) { status = "ok (within noise floor)" }
+                printf "  %-55s %12d -> %12d ns  (%+.1f%%) %s\n", name, old, new, change, status
+            }
+        }
+        END {
+            for (name in base) if (!(name in seen))
+                printf "  retired bench (baseline only): %s\n", name
+            if (failed) {
+                printf "regression gate FAILED: a bench regressed more than %s%%\n", tol
+                exit 1
+            }
+            print "regression gate passed"
+        }
+    ' "$baseline" "$fresh"
+}
+
+if [[ "${1:-}" == "--compare" ]]; then
+    if [[ $# -ne 3 || ! -f "$2" || ! -f "$3" ]]; then
+        echo "usage: $0 --compare <baseline.json> <fresh.json>" >&2
+        exit 2
+    fi
+    compare_snapshots "$2" "$3"
+    exit $?
+fi
+
 if [[ $# -lt 1 ]]; then
     echo "usage: $0 <output.json> [baseline.json]" >&2
     exit 2
@@ -64,16 +131,20 @@ cd "$(dirname "$0")/.."
 
 out_file="$1"
 baseline="${2:-}"
-tolerance="${CPS_BENCH_TOLERANCE:-25}"
-noise_floor="${CPS_BENCH_NOISE_FLOOR_NS:-20000}"
 bench_log="$(mktemp)"
 trap 'rm -f "$bench_log"' EXIT
 
 cargo bench 2>&1 | tee "$bench_log"
 
+# Two mutually exclusive row shapes, keyed on which marker ends the line:
+# throughput benches end in `[per_s=…]` and are snapshotted by their rate;
+# everything else ends in `[median_ns=…]` and is snapshotted by its median.
 {
     echo "{"
-    sed -n 's/^\([^:]*\): median .*\[median_ns=\([0-9][0-9]*\)\]$/  "\1": \2,/p' "$bench_log" |
+    sed -n \
+        -e 's/^\([^:]*\): median .*\[median_ns=\([0-9][0-9]*\)\]$/  "\1": \2,/p' \
+        -e 's/^\([^:]*\): median .*\[per_s=\([0-9][0-9]*\)\]$/  "\1": \2,/p' \
+        "$bench_log" |
         sed '$ s/,$//'
     echo "}"
 } > "$out_file"
@@ -89,34 +160,4 @@ if [[ -z "$baseline" || ! -f "$baseline" ]]; then
     exit 0
 fi
 
-echo "comparing against $baseline (tolerance: ${tolerance}% median regression," \
-     "noise floor: ${noise_floor} ns)"
-awk -v tol="$tolerance" -v floor="$noise_floor" -v baseline="$baseline" -v fresh="$out_file" '
-    # Both files use the simple one-entry-per-line format written above.
-    function parse(line) {
-        if (match(line, /^  "[^"]+": [0-9]+,?$/) == 0) return 0
-        name = line; sub(/^  "/, "", name); sub(/": .*/, "", name)
-        value = line; sub(/.*": /, "", value); sub(/,$/, "", value)
-        return 1
-    }
-    FNR == NR { if (parse($0)) base[name] = value + 0; next }
-    {
-        if (!parse($0)) next
-        if (!(name in base)) { printf "  new bench (no baseline): %s\n", name; next }
-        old = base[name]; new = value + 0; seen[name] = 1
-        change = old > 0 ? (new - old) * 100.0 / old : 0
-        status = "ok"
-        if (change > tol && new - old > floor) { status = "REGRESSION"; failed = 1 }
-        else if (change > tol) { status = "ok (within noise floor)" }
-        printf "  %-55s %12d -> %12d ns  (%+.1f%%) %s\n", name, old, new, change, status
-    }
-    END {
-        for (name in base) if (!(name in seen))
-            printf "  retired bench (baseline only): %s\n", name
-        if (failed) {
-            printf "regression gate FAILED: a bench regressed more than %s%%\n", tol
-            exit 1
-        }
-        print "regression gate passed"
-    }
-' "$baseline" "$out_file"
+compare_snapshots "$baseline" "$out_file"

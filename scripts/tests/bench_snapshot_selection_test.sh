@@ -1,9 +1,8 @@
 #!/usr/bin/env bash
-# Tests the baseline-selection logic of scripts/bench_snapshot.sh via its
-# `--select-baseline` mode, which runs the real selection function against the
-# current directory without touching cargo. Each case builds a synthetic
-# directory of candidate and decoy snapshot files and checks the single line
-# the script prints.
+# Tests the cargo-free logic of scripts/bench_snapshot.sh: baseline selection
+# via `--select-baseline` and the regression gate's direction handling via
+# `--compare`. Each case builds synthetic snapshot files and checks the
+# script's output / exit status.
 set -euo pipefail
 
 script="$(cd "$(dirname "$0")/.." && pwd)/bench_snapshot.sh"
@@ -52,6 +51,62 @@ check "empty when nothing qualifies" "" "" BENCH_smoke.json notes.json
 
 # Excluding the only candidate also leaves nothing.
 check "empty when only candidate is excluded" "" "BENCH_6.json" BENCH_6.json
+
+# --- regression gate direction (via --compare) -------------------------------
+# Writes a two-line snapshot pair and asserts whether the gate passes.
+# Latency rows (plain names) fail when the value grows; throughput rows
+# (`*_per_s`) fail when the value drops. CPS_BENCH_NOISE_FLOOR_NS is zeroed so
+# the direction logic is tested in isolation from the latency noise floor.
+check_gate() {
+    local label="$1" expect="$2" name="$3" old="$4" new="$5"
+    local dir
+    dir="$(mktemp -d)"
+    printf '{\n  "%s": %s\n}\n' "$name" "$old" > "$dir/base.json"
+    printf '{\n  "%s": %s\n}\n' "$name" "$new" > "$dir/fresh.json"
+    local status=0
+    CPS_BENCH_TOLERANCE=25 CPS_BENCH_NOISE_FLOOR_NS=0 \
+        "$script" --compare "$dir/base.json" "$dir/fresh.json" > /dev/null || status=$?
+    local got="pass"
+    ((status == 0)) || got="fail"
+    if [[ "$got" == "$expect" ]]; then
+        echo "ok: $label"
+    else
+        echo "FAIL: $label: expected gate to $expect, got $got (exit $status)" >&2
+        failures=$((failures + 1))
+    fi
+    rm -rf "$dir"
+}
+
+# Latency (median_ns) rows: bigger is worse.
+check_gate "latency growth beyond tolerance fails" fail "group/slow_loop" 100000 200000
+check_gate "latency improvement passes" pass "group/slow_loop" 200000 100000
+
+# Throughput (*_per_s) rows: bigger is better — the exact same numeric move
+# that fails a latency row must pass a throughput row, and vice versa.
+check_gate "throughput increase passes" pass "streaming_far/vsc_traces_per_s" 100000 200000
+check_gate "throughput drop beyond tolerance fails" fail "streaming_far/vsc_traces_per_s" 200000 100000
+check_gate "throughput drop within tolerance passes" pass "streaming_far/vsc_traces_per_s" 100000 90000
+
+# Throughput rows ignore the latency noise floor: a small-magnitude rate drop
+# beyond tolerance fails even when the absolute delta is below the default
+# 20000 floor (rates are not nanoseconds).
+check_gate_with_floor() {
+    local dir
+    dir="$(mktemp -d)"
+    printf '{\n  "s/x_per_s": 1000\n}\n' > "$dir/base.json"
+    printf '{\n  "s/x_per_s": 500\n}\n' > "$dir/fresh.json"
+    local status=0
+    CPS_BENCH_TOLERANCE=25 \
+        "$script" --compare "$dir/base.json" "$dir/fresh.json" > /dev/null || status=$?
+    if ((status != 0)); then
+        echo "ok: throughput gate ignores the nanosecond noise floor"
+    else
+        echo "FAIL: throughput drop passed because of the noise floor" >&2
+        failures=$((failures + 1))
+    fi
+    rm -rf "$dir"
+}
+check_gate_with_floor
 
 if ((failures > 0)); then
     echo "$failures selection test(s) failed" >&2
